@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints its measured table/figure (so ``pytest benchmarks/
+--benchmark-only -s`` reproduces the EXPERIMENTS.md data verbatim) and also
+writes it under ``benchmarks/results/`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered result block and persist it."""
+    banner = f"\n===== {name} =====\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The builds here are deterministic, heavyweight preprocessing runs;
+    statistical repetition adds minutes without information.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

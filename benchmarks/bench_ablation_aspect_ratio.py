@@ -1,0 +1,84 @@
+"""Ablation A1: independence of the aspect ratio Λ (Section 2, footnote 4).
+
+The paper: "our construction time is independent of Λ ... if one does care
+about the bit complexity, in our solution the construction time is
+proportional to log_n log Λ, as opposed to Ω(log Λ) in all previous
+solutions", achieved by rounding weights to powers of (1+ε).
+
+The bench sweeps Λ over six orders of magnitude on an otherwise-identical
+workload and measures (a) the construction *rounds* of the tree-routing
+scheme -- flat, because nothing in the algorithms iterates over weight
+scales -- (b) the per-message weight bits with quantization
+(O(log log Λ)) vs exact encoding (Θ(log Λ)), and (c) the stretch cost of
+quantization (≤ 1+ε, exact routing in the quantized metric).
+"""
+
+import random
+
+from _util import emit, once
+
+from repro.analysis import format_records
+from repro.congest import Network
+from repro.graphs import (
+    assign_log_uniform_weights,
+    encoded_weight_bits,
+    quantize_weights,
+    random_connected_graph,
+    raw_weight_bits,
+    spanning_tree_of,
+    tree_distance,
+)
+from repro.routing import route_in_tree
+from repro.treerouting import build_distributed_tree_scheme
+
+EPS = 0.1
+N = 500
+RANGES = [(1.0, 10.0), (1.0, 1e3), (1.0, 1e6), (1.0, 1e9)]
+
+
+def _run():
+    records = []
+    base = random_connected_graph(N, seed=9)
+    for low, high in RANGES:
+        graph = assign_log_uniform_weights(base, low, high, seed=9)
+        quantized = quantize_weights(graph, EPS)
+        tree = spanning_tree_of(quantized, style="dfs", seed=9)
+        net = Network(quantized)
+        build = build_distributed_tree_scheme(net, tree, seed=9)
+
+        # Routing stays exact w.r.t. the quantized metric.
+        weight = lambda u, v: quantized[u][v]["weight"]
+        rng = random.Random(0)
+        worst = 1.0
+        for _ in range(40):
+            u, v = rng.sample(list(tree), 2)
+            got = route_in_tree(build.scheme, u, v, weight_of=weight).length
+            exact = tree_distance(tree, weight, u, v)
+            worst = max(worst, got / exact if exact else 1.0)
+        records.append({
+            "lambda": f"{high / low:.0e}",
+            "rounds": build.rounds,
+            "weight_bits_quantized": encoded_weight_bits(quantized, EPS),
+            "weight_bits_exact": raw_weight_bits(graph),
+            "routing_worst_ratio": worst,
+        })
+    return records
+
+
+def bench_ablation_aspect_ratio(benchmark):
+    records = once(benchmark, _run)
+    emit("ablation_aspect_ratio", format_records(
+        records, title="A1: aspect-ratio independence (tree routing, n=500)"
+    ))
+    rounds = [r["rounds"] for r in records]
+    # (a) construction rounds do not grow with Λ.
+    assert max(rounds) <= 1.2 * min(rounds)
+    # (b) quantized bits grow ~log log Λ; exact bits ~log Λ.
+    assert records[-1]["weight_bits_exact"] - records[0]["weight_bits_exact"] >= 20
+    assert (
+        records[-1]["weight_bits_quantized"] - records[0]["weight_bits_quantized"]
+        <= 6
+    )
+    # (c) routing is exact in the quantized metric.
+    for r in records:
+        assert r["routing_worst_ratio"] <= 1.0 + 1e-9

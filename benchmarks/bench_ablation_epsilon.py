@@ -1,0 +1,58 @@
+"""Ablation A3: the approximation slack ε of the high levels (Appendix B).
+
+ε controls the approximate-cluster sandwich ``C_{6ε} ⊆ C̃ ⊆ C``: smaller ε
+means approximate clusters hug the exact ones (better stretch, stretch
+bound 4k-3+O(kε)) but demands a better hopset approximation.  The sweep
+measures the realized stretch and how much of the exact clusters the
+approximate ones cover.
+"""
+
+from _util import emit, once
+
+from repro.analysis import format_records
+from repro.core import build_distributed_scheme
+from repro.graphs import random_connected_graph
+from repro.routing import measure_stretch, sample_pairs
+from repro.tz import all_cluster_trees, sample_hierarchy
+
+N = 400
+K = 3
+
+
+def _run():
+    graph = random_connected_graph(N, seed=31)
+    pairs = sample_pairs(list(graph.nodes), 150, seed=32)
+    hierarchy = sample_hierarchy(list(graph.nodes), K, seed=33)
+    exact_trees = all_cluster_trees(graph, hierarchy)
+    records = []
+    for eps in (0.01, 0.05, 0.15):
+        report = build_distributed_scheme(
+            graph, K, epsilon=eps, seed=33, hierarchy=hierarchy
+        )
+        stretch = measure_stretch(report.scheme, graph, pairs)
+        # Coverage: |C̃(v)| / |C(v)| averaged over the high-level roots.
+        covered, total = 0, 0
+        for root, scheme in report.scheme.tree_schemes.items():
+            covered += len(scheme.tables)
+            total += len(exact_trees[root].dist)
+        records.append({
+            "epsilon": eps,
+            "stretch_max": stretch.max_stretch,
+            "stretch_mean": stretch.mean_stretch,
+            "cluster_coverage": round(covered / total, 4),
+            "table_max": report.scheme.max_table_words(),
+        })
+    return records
+
+
+def bench_ablation_epsilon(benchmark):
+    records = once(benchmark, _run)
+    emit("ablation_epsilon", format_records(
+        records, title=f"A3: approximation slack epsilon (n={N}, k={K})"
+    ))
+    for r in records:
+        # C̃ ⊆ C always (Claim 9): coverage can never exceed 1.
+        assert r["cluster_coverage"] <= 1.0 + 1e-12
+        assert r["stretch_max"] <= 4 * K - 3 + 1e-9
+    # Tighter epsilon covers at least as much of the exact clusters.
+    assert records[0]["cluster_coverage"] >= records[-1]["cluster_coverage"] - 1e-9

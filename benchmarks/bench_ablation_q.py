@@ -1,0 +1,56 @@
+"""Ablation A2: the sampling rate q of the tree routing (Section 3).
+
+``q`` splits the construction's work between the local phase (depth
+Õ(1/q) floods) and the global phase (Õ(qn + D) broadcast rounds per
+pointer-jump iteration).  The paper picks q = 1/√n to balance them.  The
+sweep shows the U-shape: rounds blow up at both extremes, and q = 1/√n
+sits near the bottom; the artifacts are identical at every q (output
+independence is also property-tested).
+"""
+
+import math
+
+from _util import emit, once
+
+from repro.analysis import format_records
+from repro.congest import Network
+from repro.graphs import random_connected_graph, spanning_tree_of
+from repro.treerouting import build_distributed_tree_scheme
+
+N = 1000
+
+
+def _run():
+    graph = random_connected_graph(N, seed=21)
+    tree = spanning_tree_of(graph, style="dfs", seed=21)
+    records = []
+    sqrt_q = 1.0 / math.sqrt(N)
+    for factor, label in [
+        (0.1, "q = 0.1/√n"),
+        (1.0, "q = 1/√n (paper)"),
+        (10.0, "q = 10/√n"),
+        (None, "q = 0.9 (all local roots)"),
+    ]:
+        q = 0.9 if factor is None else min(0.9, factor * sqrt_q)
+        net = Network(graph)
+        build = build_distributed_tree_scheme(net, tree, seed=21, q=q)
+        records.append({
+            "q": label,
+            "rounds": build.rounds,
+            "ut_size": build.ut_size,
+            "max_local_depth": build.partition.max_local_depth,
+            "memory": build.max_memory_words,
+        })
+    return records
+
+
+def bench_ablation_q(benchmark):
+    records = once(benchmark, _run)
+    emit("ablation_q", format_records(
+        records, title=f"A2: sampling rate q (tree routing, n={N})"
+    ))
+    by_label = {r["q"]: r for r in records}
+    paper = by_label["q = 1/√n (paper)"]
+    # The balanced choice beats both extremes.
+    assert paper["rounds"] < by_label["q = 0.1/√n"]["rounds"]
+    assert paper["rounds"] < by_label["q = 0.9 (all local roots)"]["rounds"]

@@ -1,0 +1,26 @@
+"""F6: hopset quality vs κ (the paper's 1/ρ memory knob, Theorem 1).
+
+Larger κ means less hopset storage per virtual vertex (Õ(κ m^{1/κ}), the
+paper's Õ(n^{ρ/2})) at the price of a larger hop bound β.  The bench
+measures size, max out-degree (the memory), and the empirical β for which
+the (β, ε)-hopset inequality holds.
+"""
+
+from _util import emit, once
+
+from repro.analysis import fig_hopset, format_records
+
+
+def bench_fig_hopset(benchmark):
+    records = once(
+        benchmark, lambda: fig_hopset(n=1200, kappas=(1, 2, 3), seed=3, epsilon=0.1)
+    )
+    emit("fig6_hopset", format_records(
+        records, title="F6: hopset size / memory / measured beta vs kappa"
+    ))
+    # The hopset property held for every kappa (measure_hopbound raises
+    # otherwise), and memory decreases as kappa grows.
+    degrees = [r["max_out_degree"] for r in records]
+    assert degrees[-1] <= degrees[0]
+    for r in records:
+        assert r["measured_beta"] >= 1

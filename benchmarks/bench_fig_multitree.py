@@ -1,0 +1,29 @@
+"""F8: parallel multi-tree construction vs the naive sequential schedule.
+
+Theorem 2 (second assertion): s trees in Õ(√(sn) + D) rounds total, versus
+the naive s·Õ(√n).  The parallel schedule length must grow like √s while
+the sequential sum grows like s.
+"""
+
+from _util import emit, once
+
+from repro.analysis import fig_multitree, format_records
+
+COUNTS = (1, 2, 4, 8)
+
+
+def bench_fig_multitree(benchmark):
+    records = once(
+        benchmark, lambda: fig_multitree(n=400, tree_counts=COUNTS, seed=3)
+    )
+    emit("fig8_multitree", format_records(
+        records, title="F8: multi-tree construction, parallel vs naive"
+    ))
+    for r in records[1:]:
+        assert r["rounds_parallel"] < r["rounds_sequential_sum"]
+    # Parallel schedule grows sub-linearly in s; the naive sum linearly.
+    par_ratio = records[-1]["rounds_parallel"] / records[0]["rounds_parallel"]
+    seq_ratio = (
+        records[-1]["rounds_sequential_sum"] / records[0]["rounds_sequential_sum"]
+    )
+    assert par_ratio < seq_ratio

@@ -1,0 +1,27 @@
+"""F5: general-scheme table/label words vs k.
+
+Theorem 3: tables Õ(n^{1/k}) (shrink as k grows), labels O(k log n) (grow
+linearly in k), memory within polylog of the table size at every k.
+"""
+
+import math
+
+from _util import emit, once
+
+from repro.analysis import fig_sizes_vs_k, format_records
+
+N = 500
+
+
+def bench_fig_sizes_vs_k(benchmark):
+    records = once(benchmark, lambda: fig_sizes_vs_k(n=N, ks=(2, 3, 4), seed=3))
+    emit("fig5_sizes_vs_k", format_records(
+        records, title="F5: table/label words vs k (general scheme)"
+    ))
+    # Tables shrink with k (mean; the max is noisier at small n).
+    means = [r["table_mean"] for r in records]
+    assert means[-1] < means[0]
+    # Labels are O(k log n).
+    for r in records:
+        assert r["label_max"] <= r["k"] * (4 + 2 * math.log2(N))
+        assert r["memory_words"] <= 8 * math.log2(N) ** 2 * r["table_max"]

@@ -1,0 +1,23 @@
+"""F4: measured stretch vs the 4k-3 bound, per k (Theorem 3).
+
+Stretch is the worst routed-length / distance ratio over a fixed pair
+sample.  The measured maximum must sit below the bound for every k, and the
+bound must be the binding constraint's *shape*: larger k may allow larger
+worst-case stretch.
+"""
+
+from _util import emit, once
+
+from repro.analysis import fig_stretch, format_records
+
+
+def bench_fig_stretch(benchmark):
+    records = once(
+        benchmark, lambda: fig_stretch(n=500, ks=(2, 3, 4), seed=3, pairs=250)
+    )
+    emit("fig4_stretch", format_records(
+        records, title="F4: measured stretch vs 4k-3 bound"
+    ))
+    for r in records:
+        assert r["stretch_max"] <= r["bound_4k_minus_3"] + 1e-9
+        assert r["stretch_mean"] >= 1.0

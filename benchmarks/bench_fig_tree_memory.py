@@ -1,0 +1,26 @@
+"""F2: per-vertex memory vs n -- O(log n) (this paper) vs Θ(√n) (EN16b).
+
+The paper's headline (Table 2, last column).  The sweep must show our
+memory hugging the log2(n) column while the baseline hugs sqrt(n), with a
+widening ratio.
+"""
+
+import math
+
+from _util import emit, once
+
+from repro.analysis import fig_tree_memory, format_records
+
+SIZES = (250, 500, 1000, 2000)
+
+
+def bench_fig_tree_memory(benchmark):
+    records = once(benchmark, lambda: fig_tree_memory(sizes=SIZES, seed=3))
+    emit("fig2_tree_memory", format_records(
+        records, title="F2: construction memory per vertex vs n"
+    ))
+    for r in records:
+        assert r["memory_this_paper"] <= 12 * math.log2(r["n"]) + 40
+        assert r["memory_en16b"] >= math.sqrt(r["n"]) / 2
+    ratios = [r["memory_en16b"] / r["memory_this_paper"] for r in records]
+    assert ratios[-1] > ratios[0]  # the gap widens with n

@@ -1,0 +1,25 @@
+"""F1: tree-routing construction rounds vs n.
+
+Theorem 2 claims Õ(√n + D) rounds.  The sweep holds the network family (so
+D stays ~log n) and grows n; the normalized column rounds/(√n·log²n) must
+stay bounded, i.e. the measured curve has the √n·polylog shape, not n.
+"""
+
+from _util import emit, once
+
+from repro.analysis import fig_tree_rounds, format_records
+
+SIZES = (250, 500, 1000, 2000)
+
+
+def bench_fig_tree_rounds(benchmark):
+    records = once(benchmark, lambda: fig_tree_rounds(sizes=SIZES, seed=3))
+    emit("fig1_tree_rounds", format_records(
+        records, title="F1: tree-routing construction rounds vs n"
+    ))
+    # Shape: the normalized constant does not grow with n.
+    normalized = [r["rounds_per_sqrt_n_log2"] for r in records]
+    assert max(normalized) <= 3 * normalized[0] + 1.0
+    # Sub-linear growth: 8x vertices must cost far less than 8x rounds.
+    ratio = records[-1]["rounds"] / records[0]["rounds"]
+    assert ratio < (SIZES[-1] / SIZES[0]) * 0.8

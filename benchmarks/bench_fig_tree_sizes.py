@@ -1,0 +1,28 @@
+"""F3: tree-routing label/table words vs n.
+
+Table 2 columns 2-3: this paper O(1)/O(log n); prior work
+O(log n)/O(log² n).  The sweep shows our table size flat at <= 5 words
+while the baseline's artifacts stay strictly larger at every n.
+"""
+
+import math
+
+from _util import emit, once
+
+from repro.analysis import fig_tree_sizes, format_records
+
+SIZES = (250, 500, 1000, 2000)
+
+
+def bench_fig_tree_sizes(benchmark):
+    records = once(benchmark, lambda: fig_tree_sizes(sizes=SIZES, seed=3))
+    emit("fig3_tree_sizes", format_records(
+        records, title="F3: tree-routing artifact sizes vs n (words)"
+    ))
+    for r in records:
+        assert r["table_this_paper"] <= 5  # O(1), n-independent
+        assert r["label_this_paper"] <= 1 + 2 * math.log2(r["n"])
+        assert r["table_en16b"] > r["table_this_paper"]
+        assert r["label_en16b"] >= r["label_this_paper"]
+    tables = [r["table_this_paper"] for r in records]
+    assert max(tables) == min(tables)  # flat across the sweep

@@ -1,0 +1,25 @@
+"""F9: tree-shape insensitivity of the tree-routing construction.
+
+The routing tree's depth varies by >10x across spanning-tree styles of the
+same network, yet Theorem 2's cost depends only on n and the *network's*
+hop-diameter D: rounds and memory must stay within one small band.
+"""
+
+from _util import emit, once
+
+from repro.analysis import format_records
+from repro.analysis.figures import fig_tree_styles
+
+
+def bench_fig_tree_styles(benchmark):
+    records = once(benchmark, lambda: fig_tree_styles(n=800, seed=3))
+    emit("fig9_tree_styles", format_records(
+        records, title="F9: tree-routing cost across tree shapes (n=800)"
+    ))
+    depths = [r["tree_depth"] for r in records]
+    rounds = [r["rounds"] for r in records]
+    memories = [r["memory"] for r in records]
+    # Depths differ wildly; costs do not.
+    assert max(depths) >= 5 * min(depths)
+    assert max(rounds) <= 3 * min(rounds)
+    assert max(memories) <= 2 * min(memories)

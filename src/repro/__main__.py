@@ -1,0 +1,117 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Regenerates the paper's tables and the figure sweeps without pytest::
+
+    python -m repro table2                 # Table 2, default workload
+    python -m repro table1 --n 200 --k 3   # Table 1
+    python -m repro fig tree-memory        # one of the F1-F8 sweeps
+    python -m repro demo                   # tiny end-to-end demo
+
+This is a convenience shell over :mod:`repro.analysis`; the benchmark suite
+(``pytest benchmarks/ --benchmark-only``) remains the canonical,
+assertion-checked way to reproduce EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    ReportSpec,
+    fig_graph_rounds,
+    fig_hopset,
+    fig_multitree,
+    fig_sizes_vs_k,
+    fig_stretch,
+    fig_tree_memory,
+    fig_tree_rounds,
+    fig_tree_sizes,
+    fig_tree_styles,
+    format_records,
+    generate_report,
+    run_table1,
+    run_table2,
+)
+
+FIGURES = {
+    "tree-rounds": (fig_tree_rounds, "F1: tree-routing rounds vs n"),
+    "tree-memory": (fig_tree_memory, "F2: memory per vertex vs n"),
+    "tree-sizes": (fig_tree_sizes, "F3: tree artifact sizes vs n"),
+    "stretch": (fig_stretch, "F4: stretch vs 4k-3 bound"),
+    "sizes-vs-k": (fig_sizes_vs_k, "F5: table/label words vs k"),
+    "hopset": (fig_hopset, "F6: hopset tradeoff vs kappa"),
+    "graph-rounds": (fig_graph_rounds, "F7: general-scheme cost vs n"),
+    "multitree": (fig_multitree, "F8: multi-tree parallel construction"),
+    "tree-styles": (fig_tree_styles, "F9: tree-shape insensitivity"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures of Elkin-Neiman PODC 2018.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="compact routing comparison (Table 1)")
+    t1.add_argument("--n", type=int, default=200)
+    t1.add_argument("--k", type=int, default=3)
+    t1.add_argument("--seed", type=int, default=0)
+    t1.add_argument("--pairs", type=int, default=100)
+
+    t2 = sub.add_parser("table2", help="tree routing comparison (Table 2)")
+    t2.add_argument("--n", type=int, default=1000)
+    t2.add_argument("--seed", type=int, default=0)
+
+    fig = sub.add_parser("fig", help="run one figure sweep")
+    fig.add_argument("name", choices=sorted(FIGURES))
+
+    sub.add_parser("demo", help="tiny end-to-end demonstration")
+
+    rep = sub.add_parser("report", help="full markdown reproduction report")
+    rep.add_argument("--fast", action="store_true",
+                     help="sub-minute workload sizes")
+    return parser
+
+
+def _demo() -> None:
+    from .congest import Network
+    from .graphs import random_connected_graph, spanning_tree_of
+    from .routing import route_in_tree
+    from .treerouting import build_distributed_tree_scheme
+
+    graph = random_connected_graph(200, seed=1)
+    tree = spanning_tree_of(graph, style="dfs")
+    net = Network(graph)
+    build = build_distributed_tree_scheme(net, tree, seed=1)
+    nodes = sorted(tree)
+    result = route_in_tree(
+        build.scheme, nodes[0], nodes[-1],
+        weight_of=lambda u, v: graph[u][v]["weight"],
+    )
+    print(f"n=200 tree routing: {build.rounds} rounds, "
+          f"{build.max_memory_words} words/vertex peak, "
+          f"route {nodes[0]}->{nodes[-1]}: {result.hops} hops, "
+          f"length {result.length:.2f} (exact)")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(run_table1(args.n, args.k, seed=args.seed, pairs=args.pairs).render())
+    elif args.command == "table2":
+        print(run_table2(args.n, seed=args.seed).render())
+    elif args.command == "fig":
+        fn, title = FIGURES[args.name]
+        print(format_records(fn(), title=title))
+    elif args.command == "demo":
+        _demo()
+    elif args.command == "report":
+        spec = ReportSpec.fast() if args.fast else ReportSpec()
+        print(generate_report(spec))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Experiment harness (S10): Table 1/2 regeneration and figure sweeps."""
+
+from .figures import (
+    fig_graph_rounds,
+    fig_hopset,
+    fig_multitree,
+    fig_sizes_vs_k,
+    fig_stretch,
+    fig_tree_memory,
+    fig_tree_rounds,
+    fig_tree_sizes,
+    fig_tree_styles,
+)
+from .report import ReportSpec, generate_report
+from .reporting import format_records, format_table
+from .tables import Table1Result, Table2Result, run_table1, run_table2
+
+__all__ = [
+    "ReportSpec",
+    "Table1Result",
+    "Table2Result",
+    "fig_graph_rounds",
+    "fig_hopset",
+    "fig_multitree",
+    "fig_sizes_vs_k",
+    "fig_stretch",
+    "fig_tree_memory",
+    "fig_tree_rounds",
+    "fig_tree_sizes",
+    "fig_tree_styles",
+    "format_records",
+    "generate_report",
+    "format_table",
+    "run_table1",
+    "run_table2",
+]

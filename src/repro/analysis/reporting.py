@@ -1,0 +1,43 @@
+"""Plain-text rendering of benchmark results (paper-style tables)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def line(row):
+        return " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(cells[0]))
+    out.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_records(records: List[Dict[str, Any]], *, title: str = "") -> str:
+    """Render a list of homogeneous dicts as a table."""
+    if not records:
+        return title + "\n(no data)"
+    headers = list(records[0].keys())
+    rows = [[rec.get(h, "") for h in headers] for rec in records]
+    return format_table(headers, rows, title=title)

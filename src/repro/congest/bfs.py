@@ -1,0 +1,91 @@
+"""Distributed BFS-tree construction.
+
+Every global communication step in the paper (Lemma 1 broadcasts, the
+pointer-jumping stages of Section 3, the hopset-edge exchanges of Lemma 2)
+runs over a BFS spanning tree of the *underlying unweighted* network, whose
+depth is at most the hop-diameter ``D``.
+
+:func:`build_bfs_tree` performs a literal round-by-round flood from the root:
+in round ``t`` every vertex at hop distance ``t`` receives the wave and
+adopts the first sender as its parent (ties broken by port order, making the
+construction deterministic for a fixed graph).  It takes exactly
+``depth`` rounds and each vertex retains its parent id and depth:
+O(1) words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from ..errors import InvariantViolation
+from .network import Network
+
+NodeId = Hashable
+
+
+@dataclass
+class BfsTree:
+    """A rooted BFS spanning tree of the network.
+
+    ``children`` is derived information kept by the *simulator* for
+    orchestration; a vertex itself only stores ``parent`` and ``depth``
+    (charged to its meter by :func:`build_bfs_tree`).
+    """
+
+    root: NodeId
+    parent: Dict[NodeId, Optional[NodeId]]
+    depth: Dict[NodeId, int]
+    children: Dict[NodeId, List[NodeId]] = field(default_factory=dict)
+
+    @property
+    def height(self) -> int:
+        """Depth of the deepest vertex (<= hop-diameter D)."""
+        return max(self.depth.values())
+
+    def path_to_root(self, v: NodeId) -> List[NodeId]:
+        path = [v]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        return path
+
+
+def build_bfs_tree(net: Network, root: Optional[NodeId] = None) -> BfsTree:
+    """Flood a BFS wave from ``root`` and return the resulting tree.
+
+    Runs ``height`` simulated rounds; every vertex stores O(1) words
+    (parent and depth) under the ``bfs/`` memory prefix.
+    """
+    if root is None:
+        root = min(net.nodes(), key=repr)
+    net.begin_phase("bfs-tree")
+    parent: Dict[NodeId, Optional[NodeId]] = {root: None}
+    depth: Dict[NodeId, int] = {root: 0}
+    net.mem(root).store("bfs/parent", 2)
+    frontier = [root]
+    while frontier:
+        for u in frontier:
+            for w in net.ports(u):
+                if w not in parent:
+                    net.send(u, w, "bfs")
+        inboxes = net.tick()
+        next_frontier: List[NodeId] = []
+        for v, msgs in inboxes.items():
+            if v in parent:
+                continue
+            chosen = min(msgs, key=lambda m: repr(m.src))
+            parent[v] = chosen.src
+            depth[v] = depth[chosen.src] + 1
+            net.mem(v).store("bfs/parent", 2)
+            next_frontier.append(v)
+        frontier = next_frontier
+    if len(parent) != net.n:
+        raise InvariantViolation("BFS flood did not reach every vertex")
+    children: Dict[NodeId, List[NodeId]] = {v: [] for v in net.nodes()}
+    for v, p in parent.items():
+        if p is not None:
+            children[p].append(v)
+    for v in children:
+        children[v].sort(key=repr)
+    net.end_phase()
+    return BfsTree(root=root, parent=parent, depth=depth, children=children)

@@ -1,0 +1,53 @@
+"""Messages exchanged by vertices of the CONGEST simulator.
+
+A :class:`Message` travels across exactly one edge in one round.  The payload
+is an arbitrary (picklable) Python object whose size in machine words is
+computed by :func:`repro.wordsize.words_of` unless given explicitly.  The
+network validates payload width against its configured per-message word
+limit, which models the CONGEST RAM restriction of the paper (Section 2):
+messages carry O(1) words, except where an algorithm explicitly batches
+(e.g. the light-edge lists of Section 3.2, which are O(log n) words and are
+charged proportionally).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from ..wordsize import words_of
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single point-to-point message.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint vertex ids; ``(src, dst)`` must be an edge of the network.
+    kind:
+        Short protocol tag used by receivers to dispatch (does not count
+        toward the payload width; it models the constant-size message type
+        field every protocol message carries).
+    payload:
+        The data words carried by the message.
+    words:
+        Cached width of the payload in machine words.
+    """
+
+    src: NodeId
+    dst: NodeId
+    kind: str
+    payload: Any = None
+    words: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.words < 0:
+            object.__setattr__(self, "words", words_of(self.payload))
+
+    def reply(self, kind: str, payload: Any = None) -> "Message":
+        """Build a message back along the same edge."""
+        return Message(src=self.dst, dst=self.src, kind=kind, payload=payload)

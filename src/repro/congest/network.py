@@ -1,0 +1,200 @@
+"""The CONGEST network simulator.
+
+A :class:`Network` wraps a weighted undirected :mod:`networkx` graph.  Every
+vertex hosts a processor with a :class:`~repro.congest.memory.MemoryMeter`;
+processors communicate in synchronous rounds by exchanging
+:class:`~repro.congest.message.Message` objects along edges.
+
+Model enforcement
+-----------------
+* Messages may only traverse edges of the graph
+  (:class:`~repro.errors.CongestModelViolation` otherwise).
+* At most ``edge_capacity`` messages (default 1) traverse each edge
+  *direction* per round.
+* Payloads are at most ``message_word_limit`` machine words (default 4,
+  covering "a vertex id, an edge weight, a distance, plus a constant number
+  of tags" -- the CONGEST RAM model of Section 2).  Algorithms that
+  legitimately batch wider payloads (the O(log n)-word light-edge lists of
+  Section 3.2) declare the width and the simulator charges
+  ``ceil(words / message_word_limit)`` rounds worth of capacity for them.
+
+Round accounting
+----------------
+``tick()`` delivers the queued messages and advances the round counter.
+``charge_rounds(r)`` adds ``r`` analytically-derived rounds for phases that
+are cost-charged instead of literally simulated (pipelined broadcast bodies,
+hopset construction); see DESIGN.md.  Benchmarks report
+``metrics.total_rounds``.
+
+The simulator is deliberately *orchestrated*: algorithm code drives rounds
+procedurally (send / tick loops) rather than via per-node state machines.
+Information still only moves along edges, one hop per round, which is what
+makes the round and memory measurements meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import defaultdict
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import CongestModelViolation, InputError
+from .memory import MemoryMeter
+from .message import Message
+from .metrics import RunMetrics
+
+NodeId = Hashable
+
+
+class Network:
+    """A synchronous CONGEST network over a weighted undirected graph."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        *,
+        message_word_limit: int = 4,
+        edge_capacity: int = 1,
+        strict: bool = True,
+        seed: Optional[int] = None,
+    ) -> None:
+        if graph.number_of_nodes() == 0:
+            raise InputError("network requires a non-empty graph")
+        if graph.is_directed():
+            raise InputError("network requires an undirected graph")
+        if not nx.is_connected(graph):
+            raise InputError("network requires a connected graph")
+        self.graph = graph
+        self.message_word_limit = message_word_limit
+        self.edge_capacity = edge_capacity
+        self.strict = strict
+        self.rng = random.Random(seed)
+        self.metrics = RunMetrics()
+        self._meters: Dict[NodeId, MemoryMeter] = {v: MemoryMeter() for v in graph}
+        self._outbox: List[Message] = []
+        self._edge_load: Dict[Tuple[NodeId, NodeId], int] = defaultdict(int)
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.graph.number_of_nodes()
+
+    def nodes(self) -> Iterator[NodeId]:
+        return iter(self.graph.nodes)
+
+    def neighbors(self, v: NodeId) -> Iterator[NodeId]:
+        return iter(self.graph.neighbors(v))
+
+    def degree(self, v: NodeId) -> int:
+        return self.graph.degree(v)
+
+    def weight(self, u: NodeId, v: NodeId) -> float:
+        """Weight of the edge ``{u, v}`` (1.0 when the graph is unweighted)."""
+        return float(self.graph[u][v].get("weight", 1.0))
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        return self.graph.has_edge(u, v)
+
+    def ports(self, v: NodeId) -> List[NodeId]:
+        """Deterministically ordered neighbor list ("port numbering")."""
+        return sorted(self.graph.neighbors(v), key=repr)
+
+    # -- memory ----------------------------------------------------------------
+
+    def mem(self, v: NodeId) -> MemoryMeter:
+        """The memory meter of vertex ``v``."""
+        return self._meters[v]
+
+    def memory_high_water(self) -> Dict[NodeId, int]:
+        """Per-vertex memory high-water marks, in words."""
+        return {v: meter.high_water for v, meter in self._meters.items()}
+
+    def max_memory(self) -> int:
+        """Worst per-vertex memory high-water over the run, in words."""
+        return max(meter.high_water for meter in self._meters.values())
+
+    def free_all(self, prefix: str) -> None:
+        """Free the given key prefix at every vertex (stage teardown).
+
+        Prefix scans are O(keys-per-vertex); when the key is exact, use
+        :meth:`free_key`, which the hot paths rely on.
+        """
+        for meter in self._meters.values():
+            meter.free_prefix(prefix)
+
+    def free_key(self, key: str) -> None:
+        """Free one exact key at every vertex (O(n), no key scans)."""
+        for meter in self._meters.values():
+            meter.free(key)
+
+    # -- messaging -------------------------------------------------------------
+
+    def send(self, src: NodeId, dst: NodeId, kind: str, payload: Any = None) -> None:
+        """Queue a message for delivery at the next :meth:`tick`."""
+        if not self.graph.has_edge(src, dst):
+            raise CongestModelViolation(f"{src!r} -> {dst!r} is not an edge")
+        msg = Message(src=src, dst=dst, kind=kind, payload=payload)
+        slots = max(1, math.ceil(msg.words / self.message_word_limit))
+        if self.strict:
+            load = self._edge_load[(src, dst)] + slots
+            if load > self.edge_capacity and slots == 1:
+                raise CongestModelViolation(
+                    f"edge {src!r}->{dst!r} over capacity in round "
+                    f"{self.metrics.rounds}: {load} > {self.edge_capacity}"
+                )
+        self._edge_load[(src, dst)] += slots
+        self._outbox.append(msg)
+        # Wide payloads occupy several rounds of the edge; charge the extra.
+        if slots > 1:
+            self.metrics.on_charge(slots - 1)
+
+    def tick(self) -> Dict[NodeId, List[Message]]:
+        """Deliver queued messages, advance one round, return inboxes."""
+        inboxes: Dict[NodeId, List[Message]] = defaultdict(list)
+        words = 0
+        for msg in self._outbox:
+            inboxes[msg.dst].append(msg)
+            words += msg.words
+        self.metrics.on_round(len(self._outbox), words)
+        self._outbox = []
+        self._edge_load.clear()
+        return inboxes
+
+    def idle_rounds(self, count: int) -> None:
+        """Advance ``count`` rounds with no traffic (synchronization waits)."""
+        for _ in range(count):
+            self.tick()
+
+    def charge_rounds(self, rounds: int, messages: int = 0, words: int = 0) -> None:
+        """Account for ``rounds`` rounds computed analytically.
+
+        Used by cost-charged phases (DESIGN.md): the state change is computed
+        directly while the round/message counters advance by the formula the
+        paper proves for that phase.
+        """
+        if rounds < 0:
+            raise InputError("cannot charge a negative number of rounds")
+        self.metrics.on_charge(int(math.ceil(rounds)))
+        self.metrics.messages += messages
+        self.metrics.message_words += words
+
+    # -- phases ------------------------------------------------------------------
+
+    def begin_phase(self, name: str) -> None:
+        self.metrics.begin_phase(name)
+
+    def end_phase(self) -> None:
+        self.metrics.end_phase()
+
+    # -- convenience ---------------------------------------------------------------
+
+    def hop_diameter_upper_bound(self) -> int:
+        """2 * BFS-depth from an arbitrary vertex: a cheap upper bound on D."""
+        root = next(iter(self.graph.nodes))
+        depths = nx.single_source_shortest_path_length(self.graph, root)
+        return 2 * max(depths.values()) if len(depths) > 1 else 0

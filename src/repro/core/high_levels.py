@@ -1,0 +1,245 @@
+"""Approximate pivots and approximate clusters for levels ``i >= ⌈k/2⌉``.
+
+This is the hopset-driven half of Appendix B:
+
+* **Approximate pivots** -- β iterations of Bellman-Ford in ``G' ∪ H``
+  rooted at the whole level set ``A_{i+1}``, followed by a final B-bounded
+  exploration in G, give every vertex ``u`` an estimate
+  ``d(u, A_{i+1}) <= d̂(u, A_{i+1}) <= (1+ε) d(u, A_{i+1})`` (Eq. 5, whp).
+
+* **Approximate clusters** -- for each root ``v ∈ A_i \\ A_{i+1}``, a
+  *limited* exploration in ``G' ∪ H``: a virtual vertex forwards only while
+  its estimate is strictly below ``d̂(u, A_{i+1})/(1+ε)^2``; ordinary
+  vertices use the ``(1+ε)`` rule.  Hopset edges on the winning forest are
+  expanded by the path-recovery mechanism, and a final limited B-bounded
+  sweep in G grows the tree to the remaining members.  The result is a tree
+  ``C̃(v)`` in G with ``C_{6ε}(v) ⊆ C̃(v) ⊆ C(v)`` (Claims 9-10, asserted
+  in tests against the centralized reference).
+
+Memory per vertex: 2 words per cluster containing it plus the hopset
+adjacency charged at construction -- Õ(n^{1/k}) in total by Claim 6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional
+
+from ..congest.network import Network
+from ..errors import InvariantViolation
+from ..graphs.virtual import VirtualGraphOracle
+from ..hopsets.bounded_bf import ExplorationState, hopset_bellman_ford
+from ..hopsets.hopset import Hopset
+from ..hopsets.path_recovery import recover_paths
+from ..tz.clusters import ClusterTree
+from ..tz.hierarchy import Hierarchy
+
+NodeId = Hashable
+INF = math.inf
+
+
+@dataclass
+class HighLevelConfig:
+    """Parameters of the high-level phase."""
+
+    epsilon: float
+    beta: int
+
+    @property
+    def virtual_limit_factor(self) -> float:
+        return (1.0 + self.epsilon) ** 2
+
+    @property
+    def graph_limit_factor(self) -> float:
+        return 1.0 + self.epsilon
+
+
+def approximate_pivot_distances(
+    net: Network,
+    oracle: VirtualGraphOracle,
+    hopset: Hopset,
+    level_set,
+    config: HighLevelConfig,
+    *,
+    level_index: int,
+) -> Dict[NodeId, float]:
+    """``d̂(u, A_i)`` for every vertex ``u`` (∞ when the set is empty)."""
+    members = sorted(level_set, key=repr)
+    if not members:
+        return {v: INF for v in net.nodes()}
+    state = hopset_bellman_ford(
+        net,
+        oracle,
+        hopset,
+        {a: 0.0 for a in members},
+        config.beta,
+        phase=f"pivots/approx-{level_index}",
+        mem_prefix=f"pivots/{level_index}",
+    )
+    out = {v: state.value(v) for v in net.nodes()}
+    for v, d in out.items():
+        if d == INF:
+            raise InvariantViolation(
+                f"approximate pivot exploration missed vertex {v!r}"
+            )
+        net.mem(v).store(f"pivots/approx-{level_index}", 2)
+    return out
+
+
+def build_approximate_cluster(
+    net: Network,
+    oracle: VirtualGraphOracle,
+    hopset: Hopset,
+    root: NodeId,
+    level: int,
+    next_pivot_est: Mapping[NodeId, float],
+    config: HighLevelConfig,
+    *,
+    roots_per_vertex: int = 1,
+) -> ClusterTree:
+    """One limited exploration rooted at ``root``: the tree ``C̃(root)``."""
+
+    def forward_virtual(u: NodeId, est: float) -> bool:
+        limit = next_pivot_est.get(u, INF)
+        return limit == INF or est < limit / config.virtual_limit_factor
+
+    def forward_graph(u: NodeId, est: float) -> bool:
+        limit = next_pivot_est.get(u, INF)
+        return limit == INF or est < limit / config.graph_limit_factor
+
+    state = hopset_bellman_ford(
+        net,
+        oracle,
+        hopset,
+        {root: 0.0},
+        config.beta,
+        forward_if_virtual=forward_virtual,
+        forward_if_graph=forward_graph,
+        final_graph_sweep=True,
+        phase=f"clusters/approx-{level}",
+        mem_prefix=f"cl/{level}",
+        charge=False,  # all roots of one level run in parallel; the level
+        # schedule is charged once by build_high_level_clusters.
+    )
+    state = recover_paths(
+        net,
+        hopset,
+        state,
+        roots_per_vertex=roots_per_vertex,
+        beta=config.beta,
+        phase=f"clusters/recovery-{level}",
+        mem_prefix=f"cl/{level}",
+        charge=False,
+    )
+    return _assemble_tree(net, root, level, state, forward_graph, forward_virtual, oracle)
+
+
+def _assemble_tree(
+    net: Network,
+    root: NodeId,
+    level: int,
+    state: ExplorationState,
+    forward_graph,
+    forward_virtual,
+    oracle: VirtualGraphOracle,
+) -> ClusterTree:
+    """Membership = gate-passing vertices, closed under parent chains.
+
+    Vertices on implementing paths of used hopset/E' edges join the tree
+    unconditionally ("we add all the vertices in G on the B-bounded path
+    from x to y"); closing each member's parent chain realizes exactly that.
+    """
+    passing: List[NodeId] = []
+    for v, est in state.est.items():
+        if est == INF:
+            continue
+        gate = forward_virtual if oracle.is_virtual(v) else forward_graph
+        if v == root or gate(v, est):
+            passing.append(v)
+    members: Dict[NodeId, float] = {}
+    parent: Dict[NodeId, Optional[NodeId]] = {}
+    for v in passing:
+        chain: List[NodeId] = []
+        cursor: Optional[NodeId] = v
+        while cursor is not None and cursor not in members:
+            chain.append(cursor)
+            cursor = state.gparent.get(cursor)
+        if cursor is None and chain[-1] != root:
+            raise InvariantViolation(
+                f"member {v!r} of cluster {root!r} has a broken parent chain "
+                f"(dangles at {chain[-1]!r})"
+            )
+        for node in chain:
+            members[node] = state.value(node)
+            parent[node] = state.gparent.get(node)
+            net.mem(node).add("clusters/membership", 2)
+    parent[root] = None
+    members[root] = 0.0
+    for v, p in parent.items():
+        if p is not None and not net.has_edge(v, p):
+            raise InvariantViolation(
+                f"cluster tree of {root!r} uses non-edge ({v!r}, {p!r})"
+            )
+    return ClusterTree(root=root, level=level, dist=members, parent=parent)
+
+
+def build_high_level_clusters(
+    net: Network,
+    oracle: VirtualGraphOracle,
+    hopset: Hopset,
+    hierarchy: Hierarchy,
+    config: HighLevelConfig,
+    start_level: int,
+):
+    """All approximate cluster trees for levels ``start_level .. k-1``.
+
+    Returns ``(trees, pivot_estimates)`` where ``pivot_estimates[i]`` holds
+    ``d̂(u, A_i)`` for the approximate levels ``start_level+1 .. k-1`` --
+    the label-assembly stage filters candidate entries against them.
+    """
+    k = hierarchy.k
+    n = net.n
+    roots_per_vertex = math.ceil(4.0 * n ** (1.0 / k) * max(1.0, math.log(n)))
+    trees: Dict[NodeId, ClusterTree] = {}
+    pivot_estimates: Dict[int, Dict[NodeId, float]] = {}
+    for i in range(start_level, k):
+        next_est = approximate_pivot_distances(
+            net,
+            oracle,
+            hopset,
+            hierarchy.set_at(i + 1),
+            config,
+            level_index=i + 1,
+        )
+        if i + 1 < k:
+            pivot_estimates[i + 1] = next_est
+        for root in hierarchy.vertices_at_level(i):
+            trees[root] = build_approximate_cluster(
+                net,
+                oracle,
+                hopset,
+                root,
+                i,
+                next_est,
+                config,
+                roots_per_vertex=roots_per_vertex,
+            )
+        # One parallel schedule for all of this level's explorations
+        # (Appendix B): per Bellman-Ford iteration, the E' step costs
+        # B * (congestion allowance) rounds -- Claim 6 bounds how many
+        # cluster explorations traverse one vertex -- and the H step costs
+        # Õ(m·α + D) because the hopset edges broadcast once serve every
+        # cluster.  Path recovery adds Õ((|H|·C + D)·β).
+        net.begin_phase(f"clusters/level-{i}-schedule")
+        alpha = hopset.max_out_degree()
+        d_bound = net.hop_diameter_upper_bound()
+        log_n = max(1, math.ceil(math.log2(max(2, n))))
+        per_iteration = (
+            oracle.hop_bound * min(roots_per_vertex, max(1, len(hierarchy.vertices_at_level(i))))
+            + (oracle.m * max(1, alpha) + d_bound) * log_n
+        )
+        recovery = (hopset.size * roots_per_vertex + d_bound) * config.beta
+        net.charge_rounds(per_iteration * config.beta + recovery)
+        net.end_phase()
+    return trees, pivot_estimates

@@ -1,0 +1,174 @@
+"""Centralized rooted-tree utilities.
+
+The Thorup-Zwick tree-routing scheme (recalled in Section 3 of the paper)
+needs, per vertex: its subtree size, its *heavy child* (the child with the
+largest subtree), the *light edges* on its root path (edges to non-heavy
+children -- at most ``log2 n`` of them on any root path), and DFS entry/exit
+times consistent with subtree sizes.  This module computes all of these
+centrally; the distributed stages of :mod:`repro.treerouting` are validated
+against these reference values, and the centralized TZ baseline
+(:mod:`repro.tz.tree_scheme`) is built directly from them.
+
+Trees are represented as parent maps (``root -> None``), matching
+:class:`repro.congest.primitives.Forest`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from ..errors import InputError
+
+NodeId = Hashable
+ParentMap = Mapping[NodeId, Optional[NodeId]]
+
+
+def tree_root(parent: ParentMap) -> NodeId:
+    roots = [v for v, p in parent.items() if p is None]
+    if len(roots) != 1:
+        raise InputError(f"expected exactly one root, found {len(roots)}")
+    return roots[0]
+
+
+def children_map(parent: ParentMap) -> Dict[NodeId, List[NodeId]]:
+    children: Dict[NodeId, List[NodeId]] = {v: [] for v in parent}
+    for v, p in parent.items():
+        if p is not None:
+            if p not in children:
+                raise InputError(f"parent {p!r} of {v!r} missing from tree")
+            children[p].append(v)
+    for v in children:
+        children[v].sort(key=repr)
+    return children
+
+
+def depths(parent: ParentMap) -> Dict[NodeId, int]:
+    root = tree_root(parent)
+    children = children_map(parent)
+    out = {root: 0}
+    stack = [root]
+    while stack:
+        v = stack.pop()
+        for c in children[v]:
+            out[c] = out[v] + 1
+            stack.append(c)
+    if len(out) != len(parent):
+        raise InputError("parent map contains a cycle")
+    return out
+
+
+def postorder(parent: ParentMap) -> List[NodeId]:
+    """Vertices in post-order (children before parents)."""
+    root = tree_root(parent)
+    children = children_map(parent)
+    order: List[NodeId] = []
+    stack: List[Tuple[NodeId, bool]] = [(root, False)]
+    while stack:
+        v, expanded = stack.pop()
+        if expanded:
+            order.append(v)
+        else:
+            stack.append((v, True))
+            for c in reversed(children[v]):
+                stack.append((c, False))
+    return order
+
+
+def subtree_sizes(parent: ParentMap) -> Dict[NodeId, int]:
+    children = children_map(parent)
+    sizes: Dict[NodeId, int] = {}
+    for v in postorder(parent):
+        sizes[v] = 1 + sum(sizes[c] for c in children[v])
+    return sizes
+
+
+def heavy_children(parent: ParentMap) -> Dict[NodeId, Optional[NodeId]]:
+    """The child with the largest subtree, per vertex (None for leaves).
+
+    Ties break deterministically by vertex repr, matching the distributed
+    implementation so the two can be compared field by field.
+    """
+    children = children_map(parent)
+    sizes = subtree_sizes(parent)
+    heavy: Dict[NodeId, Optional[NodeId]] = {}
+    for v, kids in children.items():
+        heavy[v] = max(kids, key=lambda c: (sizes[c], repr(c))) if kids else None
+    return heavy
+
+
+def light_edge_lists(parent: ParentMap) -> Dict[NodeId, List[Tuple[NodeId, NodeId]]]:
+    """For each vertex ``y``: the light edges on the root-to-``y`` path.
+
+    An edge ``(u, v)`` (v a child of u) is *light* when ``v`` is not the
+    heavy child of ``u``.  Any root path has at most ``log2 n`` light edges,
+    because crossing a light edge at least halves the subtree size.
+    """
+    root = tree_root(parent)
+    children = children_map(parent)
+    heavy = heavy_children(parent)
+    lists: Dict[NodeId, List[Tuple[NodeId, NodeId]]] = {root: []}
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        for v in children[u]:
+            inherited = lists[u]
+            lists[v] = inherited if v == heavy[u] else inherited + [(u, v)]
+            stack.append(v)
+    return lists
+
+
+def dfs_intervals(parent: ParentMap) -> Dict[NodeId, Tuple[int, int]]:
+    """DFS entry/exit numbering with subtree-size-consistent ranges.
+
+    Vertex ``v`` gets ``[enter, exit]`` with
+    ``exit - enter + 1 == subtree_size(v)``; descendants' intervals nest.
+    The DFS visits children in the deterministic port order used everywhere
+    in this library (sorted by repr), matching Algorithm 4's distributed
+    assignment so the two can be compared exactly.
+    """
+    root = tree_root(parent)
+    children = children_map(parent)
+    sizes = subtree_sizes(parent)
+    intervals: Dict[NodeId, Tuple[int, int]] = {root: (1, sizes[root])}
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        enter, _ = intervals[u]
+        offset = enter + 1
+        for v in children[u]:
+            intervals[v] = (offset, offset + sizes[v] - 1)
+            offset += sizes[v]
+            stack.append(v)
+    return intervals
+
+
+def tree_path(parent: ParentMap, u: NodeId, v: NodeId) -> List[NodeId]:
+    """The unique u-v path in the tree (via lowest common ancestor)."""
+    depth = depths(parent)
+    a, b = u, v
+    left: List[NodeId] = [a]
+    right: List[NodeId] = [b]
+    while depth[a] > depth[b]:
+        a = parent[a]
+        left.append(a)
+    while depth[b] > depth[a]:
+        b = parent[b]
+        right.append(b)
+    while a != b:
+        a = parent[a]
+        b = parent[b]
+        left.append(a)
+        right.append(b)
+    return left + right[-2::-1]
+
+
+def tree_distance(
+    parent: ParentMap,
+    weight_of,
+    u: NodeId,
+    v: NodeId,
+) -> float:
+    """Weighted length of the unique tree path (``weight_of(a, b)`` gives
+    the edge weight)."""
+    path = tree_path(parent, u, v)
+    return sum(weight_of(path[i], path[i + 1]) for i in range(len(path) - 1))

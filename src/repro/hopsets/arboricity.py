@@ -1,0 +1,112 @@
+"""Arboricity measurement and forest decomposition.
+
+The paper's memory argument rests on the hopset having small *arboricity*
+(footnote 5: the minimum number of forests covering the edge set), realized
+through an orientation in which each vertex stores only its "parents".
+Our :class:`~repro.hopsets.hopset.Hopset` is built with an explicit owner
+orientation, and this module provides the measurement side:
+
+* :func:`degeneracy_orientation` -- the classical peeling order, whose
+  max out-degree (the degeneracy) sandwiches the arboricity within a factor
+  of 2 (``arboricity <= degeneracy <= 2·arboricity - 1``);
+* :func:`forest_decomposition` -- split an oriented edge set into forests
+  (at most ``max out-degree`` of them), witnessing the footnote's
+  definition;
+* :func:`nash_williams_lower_bound` -- the density lower bound
+  ``max ⌈|E(S)| / (|S| - 1)⌉`` over sampled subgraphs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, List, Set, Tuple
+
+from ..errors import InputError
+
+NodeId = Hashable
+Edge = Tuple[NodeId, NodeId]
+
+
+def degeneracy_orientation(
+    edges: List[Edge],
+) -> Tuple[Dict[NodeId, List[NodeId]], int]:
+    """Peel minimum-degree vertices; orient each edge away from the vertex
+    peeled first.  Returns (out-adjacency, degeneracy)."""
+    adjacency: Dict[NodeId, Set[NodeId]] = defaultdict(set)
+    for u, v in edges:
+        if u == v:
+            raise InputError("self-loops are not allowed")
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    remaining = {v: set(neigh) for v, neigh in adjacency.items()}
+    order: List[NodeId] = []
+    degeneracy = 0
+    while remaining:
+        v = min(remaining, key=lambda x: (len(remaining[x]), repr(x)))
+        degeneracy = max(degeneracy, len(remaining[v]))
+        order.append(v)
+        for u in remaining[v]:
+            remaining[u].discard(v)
+        del remaining[v]
+    rank = {v: i for i, v in enumerate(order)}
+    oriented: Dict[NodeId, List[NodeId]] = defaultdict(list)
+    for u, v in edges:
+        if rank[u] < rank[v]:
+            oriented[u].append(v)
+        else:
+            oriented[v].append(u)
+    return dict(oriented), degeneracy
+
+
+def forest_decomposition(
+    oriented: Dict[NodeId, List[NodeId]]
+) -> List[List[Edge]]:
+    """Split an orientation with max out-degree ``t`` into ``t`` sub-edge
+    sets, the i-th containing each vertex's i-th outgoing edge.
+
+    Each piece has out-degree <= 1 per vertex, i.e. it is a pseudo-forest;
+    for the acyclic orientations produced by our constructions (edges point
+    from bunch members toward roots/pivots) each piece is a forest, which
+    :func:`verify_forest` checks.
+    """
+    forests: List[List[Edge]] = []
+    for v, outs in oriented.items():
+        for i, u in enumerate(sorted(outs, key=repr)):
+            while len(forests) <= i:
+                forests.append([])
+            forests[i].append((v, u))
+    return forests
+
+
+def verify_forest(edges: List[Edge]) -> bool:
+    """True when the undirected edge set is acyclic."""
+    parent: Dict[NodeId, NodeId] = {}
+
+    def find(x: NodeId) -> NodeId:
+        root = x
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(x, x) != x:
+            parent[x], x = root, parent[x]
+        return root
+
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            return False
+        parent[ru] = rv
+    return True
+
+
+def nash_williams_lower_bound(
+    edges: List[Edge], subsets: List[Set[NodeId]]
+) -> int:
+    """``max ⌈|E(S)|/(|S|-1)⌉`` over the given vertex subsets."""
+    best = 1 if edges else 0
+    for subset in subsets:
+        if len(subset) < 2:
+            continue
+        inside = sum(1 for u, v in edges if u in subset and v in subset)
+        denom = len(subset) - 1
+        best = max(best, -(-inside // denom))
+    return best

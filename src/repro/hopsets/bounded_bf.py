@@ -1,0 +1,151 @@
+"""Low-memory hop-bounded Bellman-Ford on ``G' ∪ H`` (Lemma 2).
+
+One Bellman-Ford iteration over the virtual graph plus hopset is implemented
+as the paper's proof of Lemma 2 does:
+
+* **E' step** -- every estimate-holding vertex initiates/relays a B-bounded
+  exploration in G ("first it will initiate an exploration in G for B
+  rounds; in each round, every vertex u ∈ V will forward the smallest value
+  it received so far").  This simultaneously relaxes all E' edges *without
+  knowing them* and hands estimates to the ordinary vertices en route.
+* **H step** -- every virtual vertex broadcasts its current estimate
+  together with the hopset edges it owns (Lemma 1 over the BFS tree);
+  the opposite endpoints relax.  Rounds: ``O((m·α + D) log n)`` with the
+  randomized start times of the Lemma 2 proof; memory per vertex
+  ``O(α + log n)``.
+
+Limited explorations (Appendix B) are expressed by two gates:
+``forward_if_virtual(v, est)`` (the ``(1+ε)^2`` rule for virtual vertices)
+and ``forward_if_graph(v, est)`` (the ``(1+ε)`` rule for ordinary ones).
+
+The result tracks, for every vertex, the current estimate, the G-parent
+implementing it (when it arrived via an exploration in G), and -- for
+virtual vertices whose best estimate arrived over a hopset edge -- the edge
+itself, to be expanded later by :mod:`repro.hopsets.path_recovery`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Mapping, Optional, Tuple
+
+from ..congest.network import Network
+from ..errors import InputError
+from ..graphs.virtual import VirtualGraphOracle
+from .hopset import Hopset
+
+NodeId = Hashable
+INF = math.inf
+Gate = Optional[Callable[[NodeId, float], bool]]
+
+
+@dataclass
+class ExplorationState:
+    """Estimates and provenance after a (possibly limited) exploration."""
+
+    est: Dict[NodeId, float] = field(default_factory=dict)
+    gparent: Dict[NodeId, Optional[NodeId]] = field(default_factory=dict)
+    # virtual vertex -> (owner, other, reversed?) of the winning hopset edge
+    hvia: Dict[NodeId, Tuple[NodeId, NodeId, bool]] = field(default_factory=dict)
+
+    def value(self, v: NodeId) -> float:
+        return self.est.get(v, INF)
+
+
+def hopset_bellman_ford(
+    net: Network,
+    oracle: VirtualGraphOracle,
+    hopset: Hopset,
+    sources: Mapping[NodeId, float],
+    beta: int,
+    *,
+    forward_if_virtual: Gate = None,
+    forward_if_graph: Gate = None,
+    final_graph_sweep: bool = True,
+    phase: str = "hopset-bf",
+    mem_prefix: str = "bf",
+    charge: bool = True,
+) -> ExplorationState:
+    """Run ``beta`` iterations of Bellman-Ford over ``G' ∪ H``.
+
+    ``sources`` seeds initial estimates (typically ``{root: 0}`` or zeros on
+    a whole level set ``A_{i+1}``).  When ``final_graph_sweep`` is set, one
+    last B-bounded exploration in G runs after the virtual iterations so
+    every *ordinary* vertex holds its estimate too (the paper's "we perform
+    another B-bounded exploration in G" steps).
+
+    ``charge=False`` suppresses per-call round charging: the caller runs
+    many explorations *in parallel* (all cluster roots of one level, with
+    Claim-6 congestion) and charges the level's schedule once itself.
+    """
+    if beta < 1:
+        raise InputError("beta must be >= 1")
+    net.begin_phase(phase)
+    state = ExplorationState()
+    for s, d0 in sources.items():
+        state.est[s] = float(d0)
+        state.gparent[s] = None
+
+    def gate(v: NodeId, value: float) -> bool:
+        if oracle.is_virtual(v):
+            return forward_if_virtual(v, value) if forward_if_virtual else True
+        return forward_if_graph(v, value) if forward_if_graph else True
+
+    alpha = hopset.max_out_degree()
+    m = oracle.m
+    d_bound = net.hop_diameter_upper_bound()
+    log_n = max(1, int(math.log2(max(2, net.n))))
+
+    for _ in range(beta):
+        # -- E' step: B-bounded exploration in G --------------------------------
+        dist, parent = oracle.relax_virtual_edges(state.est, forward_if=gate)
+        for v, d in dist.items():
+            if d < state.value(v) - 1e-15:
+                state.est[v] = d
+                state.gparent[v] = parent[v]
+                state.hvia.pop(v, None)
+        if charge:
+            net.charge_rounds(oracle.hop_bound)
+
+        # -- H step: owners broadcast estimates + owned edges --------------------
+        improved: Dict[NodeId, Tuple[float, Tuple[NodeId, NodeId, bool]]] = {}
+        for owner, bucket in hopset.owned.items():
+            for other, weight in bucket.items():
+                d_owner = state.value(owner)
+                if d_owner < INF and gate(owner, d_owner):
+                    cand = d_owner + weight
+                    if cand < state.value(other) and cand < improved.get(
+                        other, (INF, None)
+                    )[0]:
+                        improved[other] = (cand, (owner, other, False))
+                d_other = state.value(other)
+                if d_other < INF and gate(other, d_other):
+                    cand = d_other + weight
+                    if cand < state.value(owner) and cand < improved.get(
+                        owner, (INF, None)
+                    )[0]:
+                        improved[owner] = (cand, (owner, other, True))
+        for v, (cand, via) in improved.items():
+            if cand < state.value(v) - 1e-15:
+                state.est[v] = cand
+                state.gparent[v] = None
+                state.hvia[v] = via
+        if charge:
+            net.charge_rounds((m * max(1, alpha) + d_bound) * log_n)
+
+    if final_graph_sweep:
+        dist, parent = oracle.relax_virtual_edges(state.est, forward_if=gate)
+        for v, d in dist.items():
+            if d < state.value(v) - 1e-15:
+                state.est[v] = d
+                state.gparent[v] = parent[v]
+                state.hvia.pop(v, None)
+        if charge:
+            net.charge_rounds(oracle.hop_bound)
+
+    # Memory: estimate + parent + hopset adjacency already charged at build.
+    for v in state.est:
+        net.mem(v).add(f"{mem_prefix}/estimates", 2)
+    net.end_phase()
+    return state

@@ -1,0 +1,54 @@
+"""Routing artifacts and the routing-phase simulator (S9 of DESIGN.md)."""
+
+from .artifacts import (
+    GraphLabel,
+    GraphRoutingScheme,
+    GraphTable,
+    Header,
+    TreeLabel,
+    TreeRoutingScheme,
+    TreeTable,
+)
+from .router import (
+    RouteResult,
+    StretchReport,
+    measure_stretch,
+    route_in_graph,
+    route_in_tree,
+    sample_pairs,
+)
+from .serialization import (
+    graph_scheme_from_dict,
+    graph_scheme_to_dict,
+    load_scheme,
+    save_scheme,
+    tree_scheme_from_dict,
+    tree_scheme_to_dict,
+)
+from .tree_router import tree_forward
+from .validation import verify_graph_scheme, verify_tree_scheme
+
+__all__ = [
+    "GraphLabel",
+    "GraphRoutingScheme",
+    "GraphTable",
+    "Header",
+    "RouteResult",
+    "StretchReport",
+    "TreeLabel",
+    "TreeRoutingScheme",
+    "TreeTable",
+    "measure_stretch",
+    "route_in_graph",
+    "route_in_tree",
+    "sample_pairs",
+    "graph_scheme_from_dict",
+    "graph_scheme_to_dict",
+    "load_scheme",
+    "save_scheme",
+    "tree_forward",
+    "tree_scheme_from_dict",
+    "tree_scheme_to_dict",
+    "verify_graph_scheme",
+    "verify_tree_scheme",
+]

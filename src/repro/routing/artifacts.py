@@ -1,0 +1,189 @@
+"""Routing-scheme artifacts: tables, labels, headers.
+
+Both the centralized Thorup-Zwick constructions (:mod:`repro.tz`) and the
+paper's distributed constructions (:mod:`repro.treerouting`,
+:mod:`repro.core`) produce the *same* artifact types, so the routing-phase
+simulator (:mod:`repro.routing.router`) and the benchmarks can treat them
+uniformly and compare sizes word for word.
+
+Word accounting follows :mod:`repro.wordsize`: a vertex id, a port, a DFS
+time, and a distance each cost one word.  ``word_size()`` on each artifact
+is what Tables 1-2's "Table size" / "Label size" columns report.
+
+Tree routing (Section 3, after [TZ01b]):
+
+* :class:`TreeTable` -- what a vertex stores: its DFS interval, its parent,
+  and its heavy child.  **O(1) words.**
+* :class:`TreeLabel` -- what a destination advertises: its DFS enter time
+  and the light edges on its root path.  **O(log n) words** (<= log2 n light
+  edges of 2 words each).
+
+General graphs (Appendix B):
+
+* :class:`GraphTable` -- the tree tables of every cluster tree containing
+  the vertex, keyed by the tree's root.  **Õ(n^{1/k}) words** via Claim 6.
+* :class:`GraphLabel` -- per level ``i``: the (approximate) ``i``-pivot, the
+  advertised distance to it, and the vertex's tree label in the pivot's
+  cluster tree.  **O(k log n) words** -- the improvement over the
+  O(k log^2 n) labels of [EN16b, LPP16].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+NodeId = Hashable
+TreeId = Hashable
+
+
+@dataclass(frozen=True)
+class TreeTable:
+    """Per-vertex routing table for one tree: O(1) words.
+
+    ``enter``/``exit_`` delimit the vertex's DFS interval (descendant test),
+    ``parent`` and ``heavy`` are neighbour ids (``None`` at the root / at
+    leaves).  ``root_distance`` (optional, +1 word) is the weighted distance
+    to the tree root; the general-graph scheme stores it to pick the best
+    candidate tree at the source.
+    """
+
+    enter: int
+    exit_: int
+    parent: Optional[NodeId]
+    heavy: Optional[NodeId]
+    root_distance: Optional[float] = None
+
+    def word_size(self) -> int:
+        words = 4  # enter, exit, parent, heavy
+        if self.root_distance is not None:
+            words += 1
+        return words
+
+    def contains(self, enter_time: int) -> bool:
+        """Is the vertex with DFS entry ``enter_time`` in my subtree?"""
+        return self.enter <= enter_time <= self.exit_
+
+
+@dataclass(frozen=True)
+class TreeLabel:
+    """Destination label for one tree: O(log n) words.
+
+    ``light_edges`` lists the (parent, child) pairs of the non-heavy edges
+    on the root-to-vertex path, ordered root-first; there are at most
+    ``log2 n`` of them.
+    """
+
+    enter: int
+    light_edges: Tuple[Tuple[NodeId, NodeId], ...] = ()
+
+    def word_size(self) -> int:
+        return 1 + 2 * len(self.light_edges)
+
+    def next_light_hop(self, at: NodeId) -> Optional[NodeId]:
+        """The light edge leaving ``at`` on the path to me, if any."""
+        for u, v in self.light_edges:
+            if u == at:
+                return v
+        return None
+
+
+@dataclass(frozen=True)
+class GraphLabel:
+    """Destination label for the general-graph scheme: O(k log n) words.
+
+    ``entries[i]`` describes level ``i``: the (approximate) ``i``-pivot
+    ``w``, the advertised distance from the vertex to ``w``'s tree root
+    along the cluster tree, and the vertex's :class:`TreeLabel` in ``w``'s
+    tree.  A level whose pivot's cluster does not contain the vertex stores
+    ``None`` (possible only on distance ties; see
+    :mod:`repro.tz.graph_scheme`).
+    """
+
+    vertex: NodeId
+    entries: Tuple[Optional[Tuple[NodeId, float, TreeLabel]], ...]
+
+    def word_size(self) -> int:
+        words = 1  # own id
+        for entry in self.entries:
+            words += 1  # presence tag
+            if entry is not None:
+                _, _, tree_label = entry
+                words += 2 + tree_label.word_size()
+        return words
+
+
+@dataclass
+class GraphTable:
+    """Per-vertex table for the general-graph scheme: Õ(n^{1/k}) words.
+
+    Maps the root of every cluster tree containing this vertex to the
+    vertex's :class:`TreeTable` in that tree.
+    """
+
+    vertex: NodeId
+    trees: Dict[TreeId, TreeTable] = field(default_factory=dict)
+
+    def word_size(self) -> int:
+        return 1 + sum(1 + table.word_size() for table in self.trees.values())
+
+    def has_tree(self, root: TreeId) -> bool:
+        return root in self.trees
+
+
+@dataclass(frozen=True)
+class Header:
+    """Message header attached during routing: O(log n) words.
+
+    For tree routing the header is just the destination's tree label.  For
+    general-graph routing the source additionally commits to a tree
+    (``tree``), after which every intermediate vertex routes purely within
+    that tree.
+    """
+
+    tree: TreeId
+    tree_label: TreeLabel
+
+    def word_size(self) -> int:
+        return 1 + self.tree_label.word_size()
+
+
+@dataclass
+class TreeRoutingScheme:
+    """A complete exact routing scheme for one tree.
+
+    Produced by both the centralized construction
+    (:func:`repro.tz.tree_scheme.build_tree_scheme`) and the distributed one
+    (:func:`repro.treerouting.scheme.build_distributed_tree_scheme`); the
+    two are compared field by field in tests.
+    """
+
+    tree_id: TreeId
+    root: NodeId
+    tables: Dict[NodeId, TreeTable]
+    labels: Dict[NodeId, TreeLabel]
+
+    def max_table_words(self) -> int:
+        return max(t.word_size() for t in self.tables.values())
+
+    def max_label_words(self) -> int:
+        return max(l.word_size() for l in self.labels.values())
+
+
+@dataclass
+class GraphRoutingScheme:
+    """A complete compact routing scheme for a general graph."""
+
+    k: int
+    tables: Dict[NodeId, GraphTable]
+    labels: Dict[NodeId, GraphLabel]
+    tree_schemes: Dict[TreeId, TreeRoutingScheme]
+
+    def max_table_words(self) -> int:
+        return max(t.word_size() for t in self.tables.values())
+
+    def max_label_words(self) -> int:
+        return max(l.word_size() for l in self.labels.values())
+
+    def mean_table_words(self) -> float:
+        return sum(t.word_size() for t in self.tables.values()) / len(self.tables)

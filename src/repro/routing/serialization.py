@@ -1,0 +1,226 @@
+"""JSON (de)serialization of routing schemes.
+
+The preprocessing phase is expensive; routers only need the artifacts.
+This module round-trips :class:`~repro.routing.artifacts.TreeRoutingScheme`
+and :class:`~repro.routing.artifacts.GraphRoutingScheme` through plain JSON
+so schemes can be built once and shipped to the vertices (or to disk).
+
+Vertex and tree ids may be ints, floats, strings, ``None``, booleans, or
+(possibly nested) tuples of those -- everything the library's constructions
+produce.  JSON cannot key maps by such values, so all maps are stored as
+``[encoded_key, value]`` pair lists, and ids are wrapped in one-element tag
+objects (``{"i": 5}``, ``{"s": "v"}``, ``{"t": [...]}``).
+
+Round-trip identity (``load(save(s)) == s``) is property-tested in
+``tests/test_routing_serialization.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Hashable, IO, List, Optional, Union
+
+from ..errors import InputError
+from .artifacts import (
+    GraphLabel,
+    GraphRoutingScheme,
+    GraphTable,
+    TreeLabel,
+    TreeRoutingScheme,
+    TreeTable,
+)
+
+NodeId = Hashable
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Id encoding
+# ---------------------------------------------------------------------------
+
+def encode_id(value: Any) -> Any:
+    """Wrap an id so JSON round-trips preserve its type."""
+    if value is None or isinstance(value, bool):
+        return {"b": value}
+    if isinstance(value, int):
+        return {"i": value}
+    if isinstance(value, float):
+        return {"f": value}
+    if isinstance(value, str):
+        return {"s": value}
+    if isinstance(value, tuple):
+        return {"t": [encode_id(x) for x in value]}
+    raise InputError(f"cannot serialize id of type {type(value).__name__}")
+
+
+def decode_id(blob: Any) -> Any:
+    if not isinstance(blob, dict) or len(blob) != 1:
+        raise InputError(f"malformed id blob: {blob!r}")
+    tag, value = next(iter(blob.items()))
+    if tag in ("b", "i", "f", "s"):
+        return value
+    if tag == "t":
+        return tuple(decode_id(x) for x in value)
+    raise InputError(f"unknown id tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# Artifact encoding
+# ---------------------------------------------------------------------------
+
+def _encode_tree_table(table: TreeTable) -> Dict[str, Any]:
+    return {
+        "enter": table.enter,
+        "exit": table.exit_,
+        "parent": encode_id(table.parent),
+        "heavy": encode_id(table.heavy),
+        "root_distance": table.root_distance,
+    }
+
+
+def _decode_tree_table(blob: Dict[str, Any]) -> TreeTable:
+    return TreeTable(
+        enter=blob["enter"],
+        exit_=blob["exit"],
+        parent=decode_id(blob["parent"]),
+        heavy=decode_id(blob["heavy"]),
+        root_distance=blob.get("root_distance"),
+    )
+
+
+def _encode_tree_label(label: TreeLabel) -> Dict[str, Any]:
+    return {
+        "enter": label.enter,
+        "light": [[encode_id(u), encode_id(v)] for u, v in label.light_edges],
+    }
+
+
+def _decode_tree_label(blob: Dict[str, Any]) -> TreeLabel:
+    return TreeLabel(
+        enter=blob["enter"],
+        light_edges=tuple((decode_id(u), decode_id(v)) for u, v in blob["light"]),
+    )
+
+
+def tree_scheme_to_dict(scheme: TreeRoutingScheme) -> Dict[str, Any]:
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "tree",
+        "tree_id": encode_id(scheme.tree_id),
+        "root": encode_id(scheme.root),
+        "tables": [
+            [encode_id(v), _encode_tree_table(t)] for v, t in scheme.tables.items()
+        ],
+        "labels": [
+            [encode_id(v), _encode_tree_label(l)] for v, l in scheme.labels.items()
+        ],
+    }
+
+
+def tree_scheme_from_dict(blob: Dict[str, Any]) -> TreeRoutingScheme:
+    _check_header(blob, "tree")
+    return TreeRoutingScheme(
+        tree_id=decode_id(blob["tree_id"]),
+        root=decode_id(blob["root"]),
+        tables={decode_id(v): _decode_tree_table(t) for v, t in blob["tables"]},
+        labels={decode_id(v): _decode_tree_label(l) for v, l in blob["labels"]},
+    )
+
+
+def graph_scheme_to_dict(scheme: GraphRoutingScheme) -> Dict[str, Any]:
+    labels = []
+    for v, label in scheme.labels.items():
+        entries = []
+        for entry in label.entries:
+            if entry is None:
+                entries.append(None)
+            else:
+                tree_id, dist, tree_label = entry
+                entries.append(
+                    [encode_id(tree_id), dist, _encode_tree_label(tree_label)]
+                )
+        labels.append([encode_id(v), entries])
+    tables = []
+    for v, table in scheme.tables.items():
+        tables.append([
+            encode_id(v),
+            [[encode_id(t), _encode_tree_table(tt)] for t, tt in table.trees.items()],
+        ])
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "graph",
+        "k": scheme.k,
+        "tables": tables,
+        "labels": labels,
+        "tree_schemes": [
+            [encode_id(t), tree_scheme_to_dict(s)]
+            for t, s in scheme.tree_schemes.items()
+        ],
+    }
+
+
+def graph_scheme_from_dict(blob: Dict[str, Any]) -> GraphRoutingScheme:
+    _check_header(blob, "graph")
+    tables: Dict[NodeId, GraphTable] = {}
+    for v_blob, tree_list in blob["tables"]:
+        v = decode_id(v_blob)
+        table = GraphTable(vertex=v)
+        for t_blob, tt_blob in tree_list:
+            table.trees[decode_id(t_blob)] = _decode_tree_table(tt_blob)
+        tables[v] = table
+    labels: Dict[NodeId, GraphLabel] = {}
+    for v_blob, entry_list in blob["labels"]:
+        v = decode_id(v_blob)
+        entries = []
+        for entry in entry_list:
+            if entry is None:
+                entries.append(None)
+            else:
+                t_blob, dist, l_blob = entry
+                entries.append((decode_id(t_blob), dist, _decode_tree_label(l_blob)))
+        labels[v] = GraphLabel(vertex=v, entries=tuple(entries))
+    tree_schemes = {
+        decode_id(t): tree_scheme_from_dict(s) for t, s in blob["tree_schemes"]
+    }
+    return GraphRoutingScheme(
+        k=blob["k"], tables=tables, labels=labels, tree_schemes=tree_schemes
+    )
+
+
+def _check_header(blob: Dict[str, Any], kind: str) -> None:
+    if blob.get("format") != FORMAT_VERSION:
+        raise InputError(
+            f"unsupported scheme format {blob.get('format')!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    if blob.get("kind") != kind:
+        raise InputError(f"expected a {kind!r} scheme, found {blob.get('kind')!r}")
+
+
+# ---------------------------------------------------------------------------
+# File convenience
+# ---------------------------------------------------------------------------
+
+Scheme = Union[TreeRoutingScheme, GraphRoutingScheme]
+
+
+def save_scheme(scheme: Scheme, fp: IO[str]) -> None:
+    """Write a scheme as JSON to an open text file."""
+    if isinstance(scheme, TreeRoutingScheme):
+        json.dump(tree_scheme_to_dict(scheme), fp)
+    elif isinstance(scheme, GraphRoutingScheme):
+        json.dump(graph_scheme_to_dict(scheme), fp)
+    else:
+        raise InputError(f"cannot serialize {type(scheme).__name__}")
+
+
+def load_scheme(fp: IO[str]) -> Scheme:
+    """Read back a scheme written by :func:`save_scheme`."""
+    blob = json.load(fp)
+    kind = blob.get("kind")
+    if kind == "tree":
+        return tree_scheme_from_dict(blob)
+    if kind == "graph":
+        return graph_scheme_from_dict(blob)
+    raise InputError(f"unknown scheme kind {kind!r}")

@@ -1,0 +1,52 @@
+"""The Thorup-Zwick tree-routing forwarding rule.
+
+Section 3 recalls the rule: at an intermediate vertex ``y`` holding its
+:class:`~repro.routing.artifacts.TreeTable` and given the destination's
+:class:`~repro.routing.artifacts.TreeLabel`,
+
+1. if the destination's DFS entry time is outside ``y``'s interval, the
+   destination is not in ``y``'s subtree: forward to ``y``'s parent;
+2. otherwise, if the label lists a light edge ``(y, x)``, forward to ``x``;
+3. otherwise forward to ``y``'s heavy child.
+
+This function is *pure*: it sees exactly the information a real router would
+(its own table, the label from the header) -- the routing-phase simulator
+builds on it and the tests check that no extra state could possibly be
+consulted.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..errors import RoutingFailure
+from .artifacts import TreeLabel, TreeTable
+
+NodeId = Hashable
+
+
+def tree_forward(at: NodeId, table: TreeTable, label: TreeLabel) -> Optional[NodeId]:
+    """Next hop from ``at`` toward the vertex labelled ``label``.
+
+    Returns ``None`` when ``at`` *is* the destination (DFS entry times are
+    unique within a tree).  Raises :class:`RoutingFailure` if the table is
+    inconsistent (no viable hop), which a correct scheme never triggers.
+    """
+    if table.enter == label.enter:
+        return None
+    if not table.contains(label.enter):
+        if table.parent is None:
+            raise RoutingFailure(
+                f"vertex {at!r} is the root yet the target "
+                f"(enter={label.enter}) is outside its interval"
+            )
+        return table.parent
+    light = label.next_light_hop(at)
+    if light is not None:
+        return light
+    if table.heavy is None:
+        raise RoutingFailure(
+            f"vertex {at!r} is a leaf yet the target (enter={label.enter}) "
+            "is strictly inside its interval"
+        )
+    return table.heavy

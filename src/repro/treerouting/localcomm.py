@@ -1,0 +1,142 @@
+"""Local-tree communication with boundary delivery.
+
+The floods of Stages 0, 2 and 3 run *inside every local tree in parallel*,
+but with a twist the generic forest primitive cannot express: when a vertex
+``u ∈ T_x`` sends to its T-children, the children that belong to ``U(T)``
+(roots of their own local trees) also *receive* the payload -- "this message
+will arrive to every vertex x ∈ U(T) who is a child of w in the virtual
+tree T' (but x will not forward this message to its children)".  Those
+boundary deliveries are exactly how a virtual vertex learns its T'-parent
+(Stage 0), its list ``L_0(x)`` (Stage 2) and its shift ``q_x`` (Stage 3).
+
+:func:`local_flood` implements this pattern once:
+
+* every ``x ∈ U(T)`` starts with ``root_value(x)``;
+* a vertex holding value ``val`` sends ``emit(v, val)`` to its T-children
+  (single payload, or per-child dict keyed by child);
+* a non-U(T) child adopts the received payload as its value and keeps
+  flooding; a U(T) child records it as its *boundary value* and stops.
+
+Rounds: ``max_local_depth`` (+1 for boundary edges), all trees in parallel,
+one message per tree edge -- fully simulated.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from ..congest.network import Network
+from ..errors import InvariantViolation
+from .sampling import TreePartition
+
+NodeId = Hashable
+
+
+def local_flood(
+    net: Network,
+    part: TreePartition,
+    root_value: Callable[[NodeId], Any],
+    emit: Callable[[NodeId, Any], Any],
+    *,
+    derive: Optional[Callable[[NodeId, Any], Any]] = None,
+    kind: str = "local-flood",
+    phase: Optional[str] = None,
+) -> Tuple[Dict[NodeId, Any], Dict[NodeId, Any]]:
+    """Flood all local trees in parallel, delivering across boundaries.
+
+    Returns ``(value, boundary)``: ``value[v]`` is every vertex's in-tree
+    value (``root_value`` for U(T) vertices); ``boundary[x]``, for
+    ``x ∈ U(T)`` other than the global root, is the payload ``x`` received
+    from its T-parent's tree.
+
+    ``derive(v, payload)``, when given, converts the payload a non-U(T)
+    vertex received into its own value (Algorithm 4: a child turns its
+    parent's DFS start into its own range using its locally-known prefix
+    sum).  Boundary payloads are returned raw.
+    """
+    if phase:
+        net.begin_phase(phase)
+    ut = part.ut
+    tree_children = part.tree_forest.children
+    value: Dict[NodeId, Any] = {x: root_value(x) for x in ut}
+    boundary: Dict[NodeId, Any] = {}
+
+    # Group senders by local depth; all local trees advance in lockstep.
+    by_depth: Dict[int, list] = defaultdict(list)
+    for v, d in part.local_forest.depth.items():
+        by_depth[d].append(v)
+    for d in by_depth:
+        by_depth[d].sort(key=repr)
+
+    for depth in range(part.max_local_depth + 1):
+        senders = [v for v in by_depth.get(depth, []) if tree_children[v]]
+        if not senders:
+            continue
+        for v in senders:
+            if v not in value:
+                raise InvariantViolation(
+                    f"vertex {v!r} must send in round {depth + 1} but has no value"
+                )
+            out = emit(v, value[v])
+            per_child = out if isinstance(out, dict) else None
+            for c in tree_children[v]:
+                payload = per_child[c] if per_child is not None else out
+                net.send(v, c, kind, payload)
+        inboxes = net.tick()
+        for c, msgs in inboxes.items():
+            if len(msgs) != 1:
+                raise InvariantViolation(
+                    f"{c!r} received {len(msgs)} local-flood messages"
+                )
+            if c in ut:
+                boundary[c] = msgs[0].payload
+            else:
+                payload = msgs[0].payload
+                value[c] = derive(c, payload) if derive is not None else payload
+
+    if len(value) != part.n:
+        raise InvariantViolation("local flood did not reach every vertex")
+    expected_boundary = len(ut) - 1
+    if len(boundary) != expected_boundary:
+        raise InvariantViolation(
+            f"expected {expected_boundary} boundary deliveries, got {len(boundary)}"
+        )
+    if phase:
+        net.end_phase()
+    return value, boundary
+
+
+def report_to_parents(
+    net: Network,
+    part: TreePartition,
+    payload_of: Callable[[NodeId], Any],
+    *,
+    senders=None,
+    kind: str = "to-parent",
+    phase: Optional[str] = None,
+) -> Dict[NodeId, Dict[NodeId, Any]]:
+    """One round in which ``senders`` (default: all non-root vertices) send
+    ``payload_of(v)`` to their T-parent.
+
+    Returns ``received[parent][child] = payload``.  Every message crosses a
+    distinct tree edge, so a single round suffices; parents must fold the
+    incoming values without retaining them (their meters are charged by the
+    calling stage for whatever they actually keep).
+    """
+    if phase:
+        net.begin_phase(phase)
+    if senders is None:
+        senders = [v for v in part.tree_parent if part.tree_parent[v] is not None]
+    for v in sorted(senders, key=repr):
+        p = part.tree_parent[v]
+        if p is None:
+            continue
+        net.send(v, p, kind, payload_of(v))
+    inboxes = net.tick()
+    received: Dict[NodeId, Dict[NodeId, Any]] = {}
+    for p, msgs in inboxes.items():
+        received[p] = {m.src: m.payload for m in msgs}
+    if phase:
+        net.end_phase()
+    return received

@@ -1,0 +1,71 @@
+"""Coverage for the remaining figure sweeps (fast configurations)."""
+
+import pytest
+
+from repro.analysis import (
+    fig_graph_rounds,
+    fig_hopset,
+    fig_tree_sizes,
+    fig_tree_styles,
+)
+
+
+class TestFigHopset:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return fig_hopset(n=200, kappas=(1, 2), seed=4, epsilon=0.15)
+
+    def test_one_record_per_kappa(self, records):
+        assert [r["kappa"] for r in records] == [1, 2]
+
+    def test_beta_measured_positive(self, records):
+        assert all(r["measured_beta"] >= 1 for r in records)
+
+    def test_memory_non_increasing_in_kappa(self, records):
+        assert records[1]["max_out_degree"] <= records[0]["max_out_degree"]
+
+    def test_virtual_size_consistent(self, records):
+        assert len({r["virtual_m"] for r in records}) == 1
+
+
+class TestFigGraphRounds:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return fig_graph_rounds(sizes=(80, 160), k=2, seed=4)
+
+    def test_sizes_in_order(self, records):
+        assert [r["n"] for r in records] == [80, 160]
+
+    def test_parallel_at_most_sequential(self, records):
+        for r in records:
+            assert r["rounds_parallel"] <= r["rounds_sequential"]
+
+    def test_memory_reported(self, records):
+        for r in records:
+            assert r["memory_max"] >= r["memory_mean"] > 0
+
+
+class TestFigTreeStyles:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return fig_tree_styles(n=200, seed=4)
+
+    def test_four_styles(self, records):
+        assert {r["style"] for r in records} == {
+            "bfs", "shortest-path", "random", "dfs"
+        }
+
+    def test_dfs_is_deepest(self, records):
+        by_style = {r["style"]: r for r in records}
+        assert by_style["dfs"]["tree_depth"] >= by_style["bfs"]["tree_depth"]
+
+    def test_costs_in_a_band(self, records):
+        rounds = [r["rounds"] for r in records]
+        assert max(rounds) <= 4 * min(rounds)
+
+
+class TestFigTreeSizes:
+    def test_table_size_constant_across_n(self):
+        records = fig_tree_sizes(sizes=(100, 300), seed=4)
+        tables = {r["table_this_paper"] for r in records}
+        assert tables == {4}

@@ -1,0 +1,36 @@
+"""Tests for the one-shot report generator."""
+
+import pytest
+
+from repro.analysis import ReportSpec, generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(ReportSpec.fast())
+
+
+class TestReport:
+    def test_contains_both_tables(self, report_text):
+        assert "Table 2 — exact tree routing" in report_text
+        assert "Table 1 — compact routing" in report_text
+
+    def test_contains_figures(self, report_text):
+        for fig in ("F1 —", "F2 —", "F4 —", "F9 —"):
+            assert fig in report_text
+
+    def test_mentions_all_schemes(self, report_text):
+        for scheme in (
+            "this-paper", "EN16b-baseline", "TZ01b-centralized",
+            "landmark-baseline", "tree-cover-baseline",
+        ):
+            assert scheme in report_text
+
+    def test_markdown_structure(self, report_text):
+        assert report_text.startswith("# Reproduction report")
+        assert report_text.count("```") % 2 == 0
+
+    def test_fast_spec_is_smaller(self):
+        fast, full = ReportSpec.fast(), ReportSpec()
+        assert fast.table2_n < full.table2_n
+        assert fast.table1_n < full.table1_n

@@ -1,0 +1,37 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert (args.n, args.k) == (200, 3)
+
+    def test_table2_overrides(self):
+        args = build_parser().parse_args(["table2", "--n", "500", "--seed", "3"])
+        assert (args.n, args.seed) == (500, 3)
+
+    def test_fig_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "bogus"])
+
+    def test_all_figures_registered(self):
+        assert len(FIGURES) == 9
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_table2_runs(self, capsys):
+        assert main(["table2", "--n", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "this-paper" in out and "EN16b-baseline" in out
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        assert "exact" in capsys.readouterr().out

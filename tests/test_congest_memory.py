@@ -1,0 +1,103 @@
+"""Unit tests for per-vertex memory meters."""
+
+import pytest
+
+from repro.congest.memory import MemoryMeter
+from repro.errors import MemoryAccountingError
+
+
+class TestStore:
+    def test_store_sets_current(self):
+        meter = MemoryMeter()
+        meter.store("a", 5)
+        assert meter.current == 5
+
+    def test_store_updates_high_water(self):
+        meter = MemoryMeter()
+        meter.store("a", 5)
+        assert meter.high_water == 5
+
+    def test_restore_replaces_not_adds(self):
+        meter = MemoryMeter()
+        meter.store("a", 5)
+        meter.store("a", 3)
+        assert meter.current == 3
+
+    def test_high_water_survives_shrink(self):
+        meter = MemoryMeter()
+        meter.store("a", 5)
+        meter.store("a", 1)
+        assert meter.high_water == 5
+
+    def test_negative_store_raises(self):
+        meter = MemoryMeter()
+        with pytest.raises(MemoryAccountingError):
+            meter.store("a", -1)
+
+    def test_zero_store_allowed(self):
+        meter = MemoryMeter()
+        meter.store("a", 0)
+        assert meter.current == 0
+
+
+class TestAdd:
+    def test_add_accumulates(self):
+        meter = MemoryMeter()
+        meter.add("list", 2)
+        meter.add("list", 3)
+        assert meter.current == 5
+
+    def test_add_to_fresh_key(self):
+        meter = MemoryMeter()
+        meter.add("x", 4)
+        assert meter.current == 4
+
+
+class TestFree:
+    def test_free_releases(self):
+        meter = MemoryMeter()
+        meter.store("a", 5)
+        meter.free("a")
+        assert meter.current == 0
+
+    def test_free_absent_key_is_noop(self):
+        meter = MemoryMeter()
+        meter.free("ghost")
+        assert meter.current == 0
+
+    def test_free_keeps_high_water(self):
+        meter = MemoryMeter()
+        meter.store("a", 7)
+        meter.free("a")
+        assert meter.high_water == 7
+
+    def test_free_prefix(self):
+        meter = MemoryMeter()
+        meter.store("stage1/a", 2)
+        meter.store("stage1/b", 3)
+        meter.store("stage2/c", 4)
+        meter.free_prefix("stage1/")
+        assert meter.current == 4
+
+    def test_high_water_tracks_simultaneous_peak(self):
+        meter = MemoryMeter()
+        meter.store("a", 3)
+        meter.store("b", 4)  # peak 7
+        meter.free("a")
+        meter.store("c", 2)  # now 6
+        assert meter.high_water == 7
+        assert meter.current == 6
+
+
+class TestInspection:
+    def test_items_lists_contents(self):
+        meter = MemoryMeter()
+        meter.store("a", 1)
+        meter.store("b", 2)
+        assert dict(meter.items()) == {"a": 1, "b": 2}
+
+    def test_high_water_excluding_prefix(self):
+        meter = MemoryMeter()
+        meter.store("relay/buf", 10)
+        meter.store("algo/x", 3)
+        assert meter.high_water_excluding("relay/") == 3

@@ -1,0 +1,55 @@
+"""Unit tests for run metrics and phase attribution."""
+
+from repro.congest.metrics import PhaseRecord, RunMetrics
+
+
+class TestRunMetrics:
+    def test_on_round_accumulates(self):
+        m = RunMetrics()
+        m.on_round(messages=3, words=7)
+        m.on_round(messages=2, words=1)
+        assert (m.rounds, m.messages, m.message_words) == (2, 5, 8)
+
+    def test_on_charge_separate_counter(self):
+        m = RunMetrics()
+        m.on_charge(10)
+        assert m.rounds == 0
+        assert m.charged_rounds == 10
+        assert m.total_rounds == 10
+
+    def test_total_combines(self):
+        m = RunMetrics()
+        m.on_round(1, 1)
+        m.on_charge(4)
+        assert m.total_rounds == 5
+
+    def test_phase_attribution(self):
+        m = RunMetrics()
+        m.begin_phase("a")
+        m.on_round(1, 1)
+        m.on_charge(2)
+        m.end_phase()
+        m.on_round(1, 1)  # unattributed
+        assert m.by_phase() == {"a": 3}
+
+    def test_repeated_phase_names_merge(self):
+        m = RunMetrics()
+        for _ in range(2):
+            m.begin_phase("x")
+            m.on_round(1, 1)
+            m.end_phase()
+        assert m.by_phase() == {"x": 2}
+
+    def test_summary_mentions_phases(self):
+        m = RunMetrics()
+        m.begin_phase("setup")
+        m.on_round(1, 1)
+        m.end_phase()
+        text = m.summary()
+        assert "setup" in text and "rounds=1" in text
+
+
+class TestPhaseRecord:
+    def test_total_rounds(self):
+        rec = PhaseRecord(name="p", rounds=2, charged_rounds=3)
+        assert rec.total_rounds == 5

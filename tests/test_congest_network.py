@@ -1,0 +1,157 @@
+"""Unit tests for the CONGEST network simulator and model enforcement."""
+
+import networkx as nx
+import pytest
+
+from repro.congest import Message, Network
+from repro.errors import CongestModelViolation, InputError
+
+
+def tiny_graph():
+    g = nx.Graph()
+    g.add_edge("a", "b", weight=2.0)
+    g.add_edge("b", "c", weight=1.5)
+    return g
+
+
+class TestConstruction:
+    def test_rejects_empty_graph(self):
+        with pytest.raises(InputError):
+            Network(nx.Graph())
+
+    def test_rejects_disconnected_graph(self):
+        g = nx.Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        with pytest.raises(InputError):
+            Network(g)
+
+    def test_rejects_directed_graph(self):
+        g = nx.DiGraph()
+        g.add_edge(1, 2)
+        with pytest.raises(InputError):
+            Network(g)
+
+    def test_n_counts_vertices(self):
+        assert Network(tiny_graph()).n == 3
+
+
+class TestTopology:
+    def test_weight_reads_attribute(self):
+        net = Network(tiny_graph())
+        assert net.weight("a", "b") == 2.0
+
+    def test_weight_defaults_to_one(self):
+        g = nx.Graph()
+        g.add_edge(1, 2)
+        assert Network(g).weight(1, 2) == 1.0
+
+    def test_ports_are_sorted(self):
+        net = Network(tiny_graph())
+        assert net.ports("b") == ["a", "c"]
+
+    def test_hop_diameter_upper_bound(self):
+        net = Network(tiny_graph())
+        assert net.hop_diameter_upper_bound() >= 2
+
+
+class TestMessaging:
+    def test_send_and_tick_delivers(self):
+        net = Network(tiny_graph())
+        net.send("a", "b", "ping", 42)
+        inboxes = net.tick()
+        assert [m.payload for m in inboxes["b"]] == [42]
+
+    def test_tick_advances_round_counter(self):
+        net = Network(tiny_graph())
+        net.send("a", "b", "x")
+        net.tick()
+        assert net.metrics.rounds == 1
+
+    def test_non_edge_send_raises(self):
+        net = Network(tiny_graph())
+        with pytest.raises(CongestModelViolation):
+            net.send("a", "c", "x")
+
+    def test_edge_capacity_enforced(self):
+        net = Network(tiny_graph())
+        net.send("a", "b", "x", 1)
+        with pytest.raises(CongestModelViolation):
+            net.send("a", "b", "y", 2)
+
+    def test_opposite_directions_are_independent(self):
+        net = Network(tiny_graph())
+        net.send("a", "b", "x")
+        net.send("b", "a", "y")  # no violation
+        inboxes = net.tick()
+        assert "a" in inboxes and "b" in inboxes
+
+    def test_capacity_resets_each_round(self):
+        net = Network(tiny_graph())
+        net.send("a", "b", "x")
+        net.tick()
+        net.send("a", "b", "y")  # new round: fine
+        net.tick()
+        assert net.metrics.messages == 2
+
+    def test_wide_payload_charges_extra_rounds(self):
+        net = Network(tiny_graph(), message_word_limit=2)
+        net.send("a", "b", "wide", (1, 2, 3, 4, 5, 6))
+        assert net.metrics.charged_rounds == 2  # ceil(6/2) - 1
+
+    def test_message_word_count(self):
+        msg = Message(src=1, dst=2, kind="k", payload=(1, 2, 3))
+        assert msg.words == 3
+
+    def test_message_reply_swaps_endpoints(self):
+        msg = Message(src=1, dst=2, kind="k")
+        reply = msg.reply("ack", 0)
+        assert (reply.src, reply.dst) == (2, 1)
+
+
+class TestChargingAndPhases:
+    def test_charge_rounds_accumulates(self):
+        net = Network(tiny_graph())
+        net.charge_rounds(10)
+        net.charge_rounds(5)
+        assert net.metrics.total_rounds == 15
+
+    def test_charge_negative_raises(self):
+        net = Network(tiny_graph())
+        with pytest.raises(InputError):
+            net.charge_rounds(-1)
+
+    def test_phase_attribution(self):
+        net = Network(tiny_graph())
+        net.begin_phase("setup")
+        net.send("a", "b", "x")
+        net.tick()
+        net.end_phase()
+        assert net.metrics.by_phase() == {"setup": 1}
+
+    def test_idle_rounds(self):
+        net = Network(tiny_graph())
+        net.idle_rounds(3)
+        assert net.metrics.rounds == 3
+        assert net.metrics.messages == 0
+
+
+class TestMemoryIntegration:
+    def test_meters_exist_for_all_nodes(self):
+        net = Network(tiny_graph())
+        for v in net.nodes():
+            assert net.mem(v).current == 0
+
+    def test_max_memory_over_nodes(self):
+        net = Network(tiny_graph())
+        net.mem("a").store("x", 9)
+        net.mem("b").store("x", 4)
+        assert net.max_memory() == 9
+
+    def test_free_all_prefix(self):
+        net = Network(tiny_graph())
+        net.mem("a").store("tmp/x", 5)
+        net.mem("b").store("tmp/y", 5)
+        net.free_all("tmp/")
+        assert net.max_memory() == 5  # high-water survives
+        assert all(net.mem(v).current == 0 for v in net.nodes())

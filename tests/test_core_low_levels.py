@@ -1,0 +1,78 @@
+"""Unit tests for the exact low-level cluster phase (Appendix B)."""
+
+import math
+
+import pytest
+
+from repro.congest import Network
+from repro.core import build_exact_low_level_clusters, claim8_hop_limit
+from repro.graphs import hop_counts, random_connected_graph
+from repro.tz import all_cluster_trees, compute_pivots, sample_hierarchy, virtual_level
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = random_connected_graph(120, seed=121)
+    hier = sample_hierarchy(list(graph.nodes), 4, seed=121)
+    pivots = compute_pivots(graph, hier)
+    return graph, hier, pivots
+
+
+class TestClaim8:
+    def test_hop_limit_monotone_in_level(self):
+        limits = [claim8_hop_limit(10 ** 6, 4, i) for i in range(3)]
+        assert limits == sorted(limits)
+
+    def test_hop_limit_capped_at_n(self):
+        assert claim8_hop_limit(50, 2, 1) == 50
+
+    def test_claim8_empirically(self, setup):
+        graph, hier, pivots = setup
+        n = graph.number_of_nodes()
+        trees = all_cluster_trees(graph, hier, pivots)
+        for root in sorted(trees, key=repr)[:10]:
+            tree = trees[root]
+            hops = hop_counts(graph, root)
+            limit = claim8_hop_limit(n, hier.k, tree.level)
+            for u in tree.dist:
+                assert hops[u] <= limit
+
+
+class TestLowLevelPhase:
+    def test_covers_exactly_low_level_roots(self, setup):
+        graph, hier, pivots = setup
+        boundary = virtual_level(hier.k)
+        net = Network(graph)
+        trees = build_exact_low_level_clusters(net, hier, pivots, boundary)
+        expected = {
+            v for v in graph.nodes if hier.level_of[v] < boundary
+        }
+        assert set(trees) == expected
+
+    def test_trees_match_centralized(self, setup):
+        graph, hier, pivots = setup
+        boundary = virtual_level(hier.k)
+        net = Network(graph)
+        trees = build_exact_low_level_clusters(net, hier, pivots, boundary)
+        reference = all_cluster_trees(graph, hier, pivots)
+        for root, tree in trees.items():
+            assert tree.dist == pytest.approx(reference[root].dist)
+            assert tree.parent == reference[root].parent
+
+    def test_rounds_charged(self, setup):
+        graph, hier, pivots = setup
+        net = Network(graph)
+        build_exact_low_level_clusters(net, hier, pivots, virtual_level(hier.k))
+        assert net.metrics.charged_rounds > 0
+
+    def test_memory_charged_per_membership(self, setup):
+        graph, hier, pivots = setup
+        net = Network(graph)
+        trees = build_exact_low_level_clusters(net, hier, pivots, virtual_level(hier.k))
+        counts = {v: 0 for v in graph.nodes}
+        for tree in trees.values():
+            for v in tree.dist:
+                counts[v] += 1
+        for v in graph.nodes:
+            stored = dict(net.mem(v).items()).get("clusters/membership", 0)
+            assert stored == 2 * counts[v]

@@ -1,0 +1,90 @@
+"""Unit tests for arboricity measurement (footnote 5 machinery)."""
+
+import pytest
+
+from repro.errors import InputError
+from repro.hopsets import (
+    degeneracy_orientation,
+    forest_decomposition,
+    nash_williams_lower_bound,
+    verify_forest,
+)
+
+
+def cycle_edges(n):
+    return [(i, (i + 1) % n) for i in range(n)]
+
+
+def clique_edges(n):
+    return [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+
+class TestDegeneracy:
+    def test_tree_has_degeneracy_one(self):
+        edges = [(0, 1), (1, 2), (1, 3), (3, 4)]
+        _, deg = degeneracy_orientation(edges)
+        assert deg == 1
+
+    def test_cycle_has_degeneracy_two(self):
+        _, deg = degeneracy_orientation(cycle_edges(6))
+        assert deg == 2
+
+    def test_clique_degeneracy(self):
+        _, deg = degeneracy_orientation(clique_edges(5))
+        assert deg == 4
+
+    def test_orientation_covers_all_edges(self):
+        edges = clique_edges(4)
+        oriented, _ = degeneracy_orientation(edges)
+        assert sum(len(v) for v in oriented.values()) == len(edges)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InputError):
+            degeneracy_orientation([(1, 1)])
+
+
+class TestForestDecomposition:
+    def test_tree_splits_into_one_forest(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        oriented, _ = degeneracy_orientation(edges)
+        forests = forest_decomposition(oriented)
+        assert all(verify_forest(f) for f in forests)
+
+    def test_pieces_cover_edges(self):
+        edges = clique_edges(5)
+        oriented, _ = degeneracy_orientation(edges)
+        forests = forest_decomposition(oriented)
+        assert sum(len(f) for f in forests) == len(edges)
+
+    def test_piece_count_bounded_by_out_degree(self):
+        edges = clique_edges(6)
+        oriented, _ = degeneracy_orientation(edges)
+        forests = forest_decomposition(oriented)
+        assert len(forests) <= max(len(v) for v in oriented.values())
+
+
+class TestVerifyForest:
+    def test_acyclic_ok(self):
+        assert verify_forest([(1, 2), (2, 3), (4, 5)])
+
+    def test_cycle_detected(self):
+        assert not verify_forest(cycle_edges(3))
+
+    def test_empty_is_forest(self):
+        assert verify_forest([])
+
+
+class TestNashWilliams:
+    def test_clique_density(self):
+        edges = clique_edges(4)  # 6 edges over 4 vertices: ceil(6/3) = 2
+        assert nash_williams_lower_bound(edges, [set(range(4))]) == 2
+
+    def test_tree_density_is_one(self):
+        edges = [(0, 1), (1, 2)]
+        assert nash_williams_lower_bound(edges, [set(range(3))]) == 1
+
+    def test_sandwiches_degeneracy(self):
+        edges = clique_edges(6)
+        _, deg = degeneracy_orientation(edges)
+        lower = nash_williams_lower_bound(edges, [set(range(6))])
+        assert lower <= deg <= 2 * lower

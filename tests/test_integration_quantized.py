@@ -1,0 +1,101 @@
+"""End-to-end pipeline in the *standard* CONGEST model: quantize weights to
+powers of 1+ε (so messages fit O(log n) bits), then build and route with
+both the tree scheme and the general scheme.  The realized stretch against
+the ORIGINAL metric may grow by at most the quantization factor 1+ε."""
+
+import math
+import random
+
+import pytest
+
+from repro.congest import Network
+from repro.core import build_distributed_scheme
+from repro.graphs import (
+    assign_log_uniform_weights,
+    dijkstra,
+    quantize_weights,
+    random_connected_graph,
+    spanning_tree_of,
+    tree_distance,
+)
+from repro.routing import measure_stretch, route_in_graph, route_in_tree, sample_pairs
+from repro.treerouting import build_distributed_tree_scheme
+
+EPS = 0.1
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    base = random_connected_graph(150, seed=291)
+    original = assign_log_uniform_weights(base, 1.0, 10 ** 4, seed=291)
+    return original, quantize_weights(original, EPS)
+
+
+class TestQuantizedTreeRouting:
+    def test_exact_in_quantized_metric(self, graphs):
+        original, quantized = graphs
+        tree = spanning_tree_of(quantized, style="dfs", seed=29)
+        build = build_distributed_tree_scheme(Network(quantized), tree, seed=29)
+        weight = lambda u, v: quantized[u][v]["weight"]
+        rng = random.Random(1)
+        for _ in range(40):
+            u, v = rng.sample(list(tree), 2)
+            result = route_in_tree(build.scheme, u, v, weight_of=weight)
+            assert result.length == pytest.approx(
+                tree_distance(tree, weight, u, v)
+            )
+
+    def test_original_metric_loss_bounded(self, graphs):
+        original, quantized = graphs
+        tree = spanning_tree_of(quantized, style="dfs", seed=29)
+        build = build_distributed_tree_scheme(Network(quantized), tree, seed=29)
+        w_orig = lambda u, v: original[u][v]["weight"]
+        rng = random.Random(2)
+        for _ in range(30):
+            u, v = rng.sample(list(tree), 2)
+            routed = route_in_tree(build.scheme, u, v, weight_of=w_orig)
+            exact_tree = tree_distance(tree, w_orig, u, v)
+            # Same tree path either way: quantization cannot change routes.
+            assert routed.length == pytest.approx(exact_tree)
+
+
+class TestQuantizedGeneralScheme:
+    def test_stretch_bound_with_quantization_slack(self, graphs):
+        original, quantized = graphs
+        k = 2
+        report = build_distributed_scheme(quantized, k, seed=29)
+        pairs = sample_pairs(list(quantized.nodes), 80, seed=30)
+        # Stretch in the quantized metric obeys 4k-3; against the original
+        # metric the bound inflates by at most (1 + EPS).
+        in_quantized = measure_stretch(report.scheme, quantized, pairs)
+        assert in_quantized.max_stretch <= 4 * k - 3 + 1e-9
+
+        worst = 0.0
+        by_source = {}
+        for u, v in pairs:
+            by_source.setdefault(u, []).append(v)
+        for u, targets in by_source.items():
+            exact, _ = dijkstra(original, [u])
+            for v in targets:
+                result = route_in_graph(report.scheme, quantized, u, v)
+                length = sum(
+                    original[a][b]["weight"]
+                    for a, b in zip(result.path, result.path[1:])
+                )
+                worst = max(worst, length / exact[v])
+        assert worst <= (4 * k - 3) * (1 + EPS) + 1e-9
+
+    def test_report_phase_rounds_cover_pipeline(self, graphs):
+        _, quantized = graphs
+        report = build_distributed_scheme(quantized, 2, seed=29)
+        phases = set(report.phase_rounds)
+        assert any(p.startswith("low-levels") for p in phases)
+        assert any(p.startswith("stage1") for p in phases)
+        assert any("broadcast" in p for p in phases)
+
+    def test_summary_mentions_key_numbers(self, graphs):
+        _, quantized = graphs
+        report = build_distributed_scheme(quantized, 2, seed=29)
+        text = report.summary()
+        assert f"n={quantized.number_of_nodes()}" in text
+        assert "mem(max)=" in text and "table(max)=" in text

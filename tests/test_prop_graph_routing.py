@@ -1,0 +1,79 @@
+"""Property-based tests for general-graph routing (centralized TZ engine,
+which shares the router and artifact machinery with the distributed
+scheme)."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import dijkstra, random_connected_graph
+from repro.routing import (
+    measure_stretch,
+    route_in_graph,
+    sample_pairs,
+)
+from repro.routing.serialization import (
+    graph_scheme_from_dict,
+    graph_scheme_to_dict,
+)
+from repro.routing.validation import verify_graph_scheme
+from repro.tz import build_centralized_scheme
+
+cases = st.tuples(
+    st.integers(min_value=15, max_value=70),
+    st.integers(min_value=0, max_value=10 ** 6),
+    st.integers(min_value=1, max_value=4),
+)
+
+
+@given(cases)
+@settings(max_examples=20, deadline=None)
+def test_stretch_bound_property(case):
+    n, seed, k = case
+    graph = random_connected_graph(n, seed=seed)
+    scheme = build_centralized_scheme(graph, k, seed=seed)
+    report = measure_stretch(
+        scheme, graph, sample_pairs(list(graph.nodes), min(40, n), seed=seed)
+    )
+    assert report.max_stretch <= max(1, 4 * k - 3) + 1e-9
+
+
+@given(cases)
+@settings(max_examples=15, deadline=None)
+def test_scheme_passes_certification(case):
+    n, seed, k = case
+    graph = random_connected_graph(n, seed=seed)
+    scheme = build_centralized_scheme(graph, k, seed=seed)
+    verify_graph_scheme(scheme, graph, sample_pairs=8, seed=seed)
+
+
+@given(cases)
+@settings(max_examples=10, deadline=None)
+def test_serialization_preserves_routes(case):
+    n, seed, k = case
+    graph = random_connected_graph(n, seed=seed)
+    scheme = build_centralized_scheme(graph, k, seed=seed)
+    loaded = graph_scheme_from_dict(
+        json.loads(json.dumps(graph_scheme_to_dict(scheme)))
+    )
+    nodes = sorted(graph.nodes, key=repr)
+    for u, v in zip(nodes[:5], nodes[-5:]):
+        if u == v:
+            continue
+        a = route_in_graph(scheme, graph, u, v)
+        b = route_in_graph(loaded, graph, u, v)
+        assert a.path == b.path
+
+
+@given(cases)
+@settings(max_examples=15, deadline=None)
+def test_routes_never_shorter_than_distance(case):
+    n, seed, k = case
+    graph = random_connected_graph(n, seed=seed)
+    scheme = build_centralized_scheme(graph, k, seed=seed)
+    nodes = sorted(graph.nodes, key=repr)
+    u = nodes[0]
+    exact, _ = dijkstra(graph, [u])
+    for v in nodes[1:6]:
+        result = route_in_graph(scheme, graph, u, v)
+        assert result.length >= exact[v] - 1e-9

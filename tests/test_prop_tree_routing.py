@@ -1,0 +1,98 @@
+"""Property-based tests: the distributed tree routing is exact and matches
+the centralized construction on arbitrary random tree shapes embedded in
+random networks."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.congest import Network
+from repro.graphs import random_connected_graph, tree_distance
+from repro.routing import route_in_tree, tree_forward
+from repro.treerouting import build_distributed_tree_scheme, partition_tree
+from repro.tz import build_tree_scheme
+
+
+@st.composite
+def embedded_trees(draw):
+    """A weighted network plus a random spanning tree of it."""
+    n = draw(st.integers(min_value=8, max_value=70))
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    style = draw(st.sampled_from(["dfs", "bfs", "random", "shortest-path"]))
+    graph = random_connected_graph(n, seed=seed)
+    from repro.graphs import spanning_tree_of
+
+    tree = spanning_tree_of(graph, style=style, seed=seed)
+    return graph, tree, seed
+
+
+@given(embedded_trees())
+@settings(max_examples=25, deadline=None)
+def test_distributed_equals_centralized(case):
+    graph, tree, seed = case
+    net = Network(graph)
+    build = build_distributed_tree_scheme(net, tree, seed=seed)
+    cent = build_tree_scheme(tree)
+    assert build.scheme.tables == cent.tables
+    assert build.scheme.labels == cent.labels
+
+
+@given(embedded_trees(), st.data())
+@settings(max_examples=25, deadline=None)
+def test_routing_is_exact(case, data):
+    graph, tree, seed = case
+    net = Network(graph)
+    build = build_distributed_tree_scheme(net, tree, seed=seed)
+    weight = lambda u, v: graph[u][v]["weight"]
+    nodes = sorted(tree)
+    for _ in range(6):
+        u = data.draw(st.sampled_from(nodes))
+        v = data.draw(st.sampled_from(nodes))
+        result = route_in_tree(build.scheme, u, v, weight_of=weight)
+        expected = tree_distance(tree, weight, u, v)
+        assert abs(result.length - expected) < 1e-9
+
+
+@given(embedded_trees(), st.floats(min_value=0.02, max_value=1.0))
+@settings(max_examples=25, deadline=None)
+def test_output_independent_of_q(case, q):
+    """The sampled partition is internal: any q gives the same artifacts."""
+    graph, tree, seed = case
+    net = Network(graph)
+    build = build_distributed_tree_scheme(net, tree, seed=seed, q=q)
+    cent = build_tree_scheme(tree)
+    assert build.scheme.tables == cent.tables
+    assert build.scheme.labels == cent.labels
+
+
+@given(embedded_trees())
+@settings(max_examples=25, deadline=None)
+def test_forwarding_never_dead_ends(case):
+    """From every vertex toward every target, the pure forwarding rule
+    reaches the destination within 2n hops (termination property)."""
+    graph, tree, seed = case
+    cent = build_tree_scheme(tree)
+    nodes = sorted(tree)
+    rng = random.Random(seed)
+    for _ in range(5):
+        u, v = rng.choice(nodes), rng.choice(nodes)
+        at = u
+        for _ in range(2 * len(nodes) + 2):
+            nxt = tree_forward(at, cent.tables[at], cent.labels[v])
+            if nxt is None:
+                break
+            at = nxt
+        assert at == v
+
+
+@given(embedded_trees())
+@settings(max_examples=25, deadline=None)
+def test_partition_local_trees_partition_vertices(case):
+    graph, tree, seed = case
+    part = partition_tree(tree, seed=seed)
+    seen = set()
+    for r in part.local_forest.roots:
+        vertices = part.local_forest.subtree_vertices(r)
+        assert not (seen & set(vertices))
+        seen |= set(vertices)
+    assert seen == set(tree)

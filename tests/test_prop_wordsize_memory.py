@@ -1,0 +1,76 @@
+"""Property-based tests for word accounting and memory meters."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.congest.memory import MemoryMeter
+from repro.wordsize import words_of
+
+scalars = st.one_of(
+    st.integers(min_value=-10 ** 9, max_value=10 ** 9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.none(),
+    st.booleans(),
+)
+payloads = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=5).map(tuple),
+        st.lists(inner, max_size=5),
+    ),
+    max_leaves=12,
+)
+
+
+@given(payloads)
+@settings(max_examples=120, deadline=None)
+def test_words_nonnegative(payload):
+    assert words_of(payload) >= 0
+
+
+@given(payloads, payloads)
+@settings(max_examples=120, deadline=None)
+def test_words_additive_over_concatenation(a, b):
+    assert words_of((a, b)) == words_of(a) + words_of(b)
+
+
+@given(st.lists(st.tuples(st.sampled_from("abcde"),
+                          st.integers(min_value=0, max_value=50))))
+@settings(max_examples=120, deadline=None)
+def test_meter_current_matches_replay(ops):
+    """Replaying stores: current equals the sum of last store per key and
+    high-water is the max prefix total."""
+    meter = MemoryMeter()
+    state = {}
+    peak = 0
+    for key, words in ops:
+        meter.store(key, words)
+        state[key] = words
+        peak = max(peak, sum(state.values()))
+    assert meter.current == sum(state.values())
+    assert meter.high_water == peak
+
+
+@given(st.lists(st.tuples(st.sampled_from("abc"),
+                          st.integers(min_value=0, max_value=20)),
+                min_size=1))
+@settings(max_examples=120, deadline=None)
+def test_meter_add_equals_running_sum(ops):
+    meter = MemoryMeter()
+    totals = {}
+    for key, words in ops:
+        meter.add(key, words)
+        totals[key] = totals.get(key, 0) + words
+    assert dict(meter.items()) == {k: v for k, v in totals.items()}
+
+
+@given(st.lists(st.sampled_from("abc"), min_size=0, max_size=6))
+@settings(max_examples=80, deadline=None)
+def test_meter_free_is_idempotent(keys):
+    meter = MemoryMeter()
+    for k in "abc":
+        meter.store(k, 5)
+    for k in keys:
+        meter.free(k)
+        meter.free(k)
+    assert meter.current == 5 * (3 - len(set(keys)))

@@ -1,0 +1,45 @@
+"""Documentation-sync test: every ```python block in README.md executes.
+
+The blocks share one namespace in order (the general-graph snippet reuses
+the quickstart's ``graph``), exactly as a reader would type them into one
+session.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
+
+
+def python_blocks():
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_readme_has_python_blocks():
+    assert len(python_blocks()) >= 2
+
+
+def test_readme_blocks_execute():
+    namespace = {}
+    for i, block in enumerate(python_blocks()):
+        try:
+            exec(compile(block, f"README-block-{i}", "exec"), namespace)
+        except Exception as err:  # pragma: no cover - failure reporting
+            pytest.fail(f"README python block {i} failed: {err}\n{block}")
+    # The quickstart promises exactness; hold it to that.
+    result = namespace["result"]
+    assert result.path[0] == namespace["src"]
+    assert result.path[-1] == namespace["dst"]
+
+
+def test_readme_mentions_all_packages():
+    text = README.read_text()
+    for package in (
+        "repro.congest", "repro.graphs", "repro.tz", "repro.hopsets",
+        "repro.treerouting", "repro.core", "repro.routing",
+        "repro.baselines", "repro.analysis",
+    ):
+        assert package in text

@@ -1,0 +1,104 @@
+"""Unit tests for routing artifacts and the pure forwarding rule."""
+
+import pytest
+
+from repro.errors import RoutingFailure
+from repro.routing import (
+    GraphLabel,
+    GraphTable,
+    Header,
+    TreeLabel,
+    TreeTable,
+    tree_forward,
+)
+
+
+def table(enter, exit_, parent=None, heavy=None, rd=None):
+    return TreeTable(enter=enter, exit_=exit_, parent=parent, heavy=heavy,
+                     root_distance=rd)
+
+
+class TestWordSizes:
+    def test_tree_table_is_four_words(self):
+        assert table(1, 10).word_size() == 4
+
+    def test_root_distance_adds_one_word(self):
+        assert table(1, 10, rd=2.5).word_size() == 5
+
+    def test_tree_label_scales_with_light_edges(self):
+        assert TreeLabel(enter=3).word_size() == 1
+        assert TreeLabel(enter=3, light_edges=((1, 2), (3, 4))).word_size() == 5
+
+    def test_graph_table_sums_trees(self):
+        gt = GraphTable(vertex="v")
+        gt.trees["r1"] = table(1, 5)
+        gt.trees["r2"] = table(2, 3)
+        assert gt.word_size() == 1 + (1 + 4) + (1 + 4)
+
+    def test_graph_label_counts_entries(self):
+        label = GraphLabel(
+            vertex="v",
+            entries=(
+                ("r", 1.0, TreeLabel(enter=1)),
+                None,
+            ),
+        )
+        # 1 (id) + [1 tag + 2 + 1] + [1 tag]
+        assert label.word_size() == 6
+
+    def test_header_words(self):
+        h = Header(tree="r", tree_label=TreeLabel(enter=1))
+        assert h.word_size() == 2
+
+
+class TestContains:
+    def test_inside(self):
+        assert table(2, 9).contains(5)
+
+    def test_boundaries_inclusive(self):
+        t = table(2, 9)
+        assert t.contains(2) and t.contains(9)
+
+    def test_outside(self):
+        assert not table(2, 9).contains(10)
+
+
+class TestNextLightHop:
+    def test_finds_matching_edge(self):
+        label = TreeLabel(enter=1, light_edges=(("a", "b"), ("c", "d")))
+        assert label.next_light_hop("c") == "d"
+
+    def test_none_when_absent(self):
+        label = TreeLabel(enter=1, light_edges=(("a", "b"),))
+        assert label.next_light_hop("z") is None
+
+
+class TestTreeForward:
+    def test_arrived(self):
+        assert tree_forward("v", table(4, 8), TreeLabel(enter=4)) is None
+
+    def test_outside_goes_to_parent(self):
+        t = table(4, 8, parent="p", heavy="h")
+        assert tree_forward("v", t, TreeLabel(enter=2)) == "p"
+
+    def test_inside_light_edge_wins(self):
+        t = table(2, 9, parent="p", heavy="h")
+        label = TreeLabel(enter=5, light_edges=(("v", "x"),))
+        assert tree_forward("v", t, label) == "x"
+
+    def test_inside_defaults_to_heavy(self):
+        t = table(2, 9, parent="p", heavy="h")
+        assert tree_forward("v", t, TreeLabel(enter=5)) == "h"
+
+    def test_root_with_outside_target_fails(self):
+        t = table(2, 9, parent=None, heavy="h")
+        with pytest.raises(RoutingFailure):
+            tree_forward("v", t, TreeLabel(enter=1))
+
+    def test_leaf_with_inside_target_fails(self):
+        t = table(4, 4, parent="p", heavy=None)
+        # enter==4 would be arrival; an interval of width 1 cannot strictly
+        # contain another vertex, so craft an inconsistent table:
+        t2 = table(4, 6, parent="p", heavy=None)
+        with pytest.raises(RoutingFailure):
+            tree_forward("v", t2, TreeLabel(enter=5))

@@ -1,0 +1,84 @@
+"""Unit tests for router helpers not covered by the end-to-end suites."""
+
+import pytest
+
+from repro.errors import RoutingFailure
+from repro.graphs import random_connected_graph
+from repro.routing import (
+    RouteResult,
+    StretchReport,
+    route_in_graph,
+    sample_pairs,
+)
+from repro.tz import build_centralized_scheme
+
+
+class TestSamplePairs:
+    def test_deterministic(self):
+        nodes = list(range(30))
+        assert sample_pairs(nodes, 10, seed=4) == sample_pairs(nodes, 10, seed=4)
+
+    def test_seed_changes_sample(self):
+        nodes = list(range(30))
+        assert sample_pairs(nodes, 10, seed=4) != sample_pairs(nodes, 10, seed=5)
+
+    def test_pairs_are_distinct_endpoints(self):
+        for u, v in sample_pairs(list(range(10)), 50, seed=1):
+            assert u != v
+
+    def test_count(self):
+        assert len(sample_pairs(list(range(5)), 17, seed=0)) == 17
+
+
+class TestRouteResult:
+    def test_hops(self):
+        r = RouteResult(path=[1, 2, 3], length=2.0, header_words=3)
+        assert r.hops == 2
+
+    def test_single_vertex_path(self):
+        r = RouteResult(path=[1], length=0.0, header_words=0)
+        assert r.hops == 0
+
+
+class TestStretchReport:
+    def test_str_contains_stats(self):
+        rep = StretchReport(pairs=5, max_stretch=2.0, mean_stretch=1.5,
+                            worst_pair=(1, 2))
+        text = str(rep)
+        assert "pairs=5" in text and "2.0000" in text
+
+
+class TestRoutingFailureDetails:
+    def test_failure_carries_partial_path(self):
+        err = RoutingFailure("boom", path=[1, 2, 3])
+        assert err.path == [1, 2, 3]
+
+    def test_failure_defaults_empty_path(self):
+        assert RoutingFailure("boom").path == []
+
+
+class TestRouteInGraphEdgeCases:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph = random_connected_graph(50, seed=261)
+        return graph, build_centralized_scheme(graph, 2, seed=261)
+
+    def test_source_equals_target(self, setup):
+        graph, scheme = setup
+        v = sorted(graph.nodes)[0]
+        result = route_in_graph(scheme, graph, v, v)
+        assert result.path == [v] and result.length == 0.0
+
+    def test_adjacent_vertices(self, setup):
+        graph, scheme = setup
+        u = sorted(graph.nodes)[0]
+        v = next(iter(graph.neighbors(u)))
+        result = route_in_graph(scheme, graph, u, v)
+        assert result.path[0] == u and result.path[-1] == v
+
+    def test_mode_best_returns_same_destination(self, setup):
+        graph, scheme = setup
+        nodes = sorted(graph.nodes)
+        a = route_in_graph(scheme, graph, nodes[0], nodes[-1], mode="first")
+        b = route_in_graph(scheme, graph, nodes[0], nodes[-1], mode="best")
+        assert a.path[-1] == b.path[-1] == nodes[-1]

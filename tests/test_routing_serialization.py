@@ -1,0 +1,134 @@
+"""Round-trip tests for scheme serialization."""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InputError
+from repro.graphs import random_connected_graph, spanning_tree_of
+from repro.routing import measure_stretch, route_in_tree, sample_pairs
+from repro.routing.serialization import (
+    decode_id,
+    encode_id,
+    graph_scheme_from_dict,
+    graph_scheme_to_dict,
+    load_scheme,
+    save_scheme,
+    tree_scheme_from_dict,
+    tree_scheme_to_dict,
+)
+from repro.tz import build_centralized_scheme, build_tree_scheme
+
+
+ids = st.recursive(
+    st.one_of(
+        st.integers(min_value=-10 ** 9, max_value=10 ** 9),
+        st.text(max_size=12),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.none(),
+        st.booleans(),
+    ),
+    lambda inner: st.lists(inner, max_size=3).map(tuple),
+    max_leaves=6,
+)
+
+
+class TestIdEncoding:
+    @given(ids)
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip(self, value):
+        assert decode_id(json.loads(json.dumps(encode_id(value)))) == value
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(InputError):
+            encode_id(object())
+
+    def test_malformed_blob_rejected(self):
+        with pytest.raises(InputError):
+            decode_id({"x": 1, "y": 2})
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(InputError):
+            decode_id({"z": 1})
+
+
+@pytest.fixture(scope="module")
+def tree_scheme():
+    graph = random_connected_graph(80, seed=211)
+    tree = spanning_tree_of(graph, style="dfs", seed=211)
+    return graph, tree, build_tree_scheme(tree, root_distance=lambda v: 1.0)
+
+
+class TestTreeSchemeRoundTrip:
+    def test_identity(self, tree_scheme):
+        _, _, scheme = tree_scheme
+        back = tree_scheme_from_dict(
+            json.loads(json.dumps(tree_scheme_to_dict(scheme)))
+        )
+        assert back.tables == scheme.tables
+        assert back.labels == scheme.labels
+        assert back.tree_id == scheme.tree_id and back.root == scheme.root
+
+    def test_routing_works_after_reload(self, tree_scheme):
+        graph, tree, scheme = tree_scheme
+        buf = io.StringIO()
+        save_scheme(scheme, buf)
+        buf.seek(0)
+        loaded = load_scheme(buf)
+        nodes = sorted(tree)
+        weight = lambda u, v: graph[u][v]["weight"]
+        a = route_in_tree(scheme, nodes[0], nodes[-1], weight_of=weight)
+        b = route_in_tree(loaded, nodes[0], nodes[-1], weight_of=weight)
+        assert a.path == b.path and a.length == b.length
+
+    def test_wrong_kind_rejected(self, tree_scheme):
+        _, _, scheme = tree_scheme
+        blob = tree_scheme_to_dict(scheme)
+        with pytest.raises(InputError):
+            graph_scheme_from_dict(blob)
+
+    def test_future_format_rejected(self, tree_scheme):
+        _, _, scheme = tree_scheme
+        blob = tree_scheme_to_dict(scheme)
+        blob["format"] = 99
+        with pytest.raises(InputError):
+            tree_scheme_from_dict(blob)
+
+
+class TestGraphSchemeRoundTrip:
+    @pytest.fixture(scope="class")
+    def built(self):
+        graph = random_connected_graph(70, seed=212)
+        return graph, build_centralized_scheme(graph, 2, seed=212)
+
+    def test_identity(self, built):
+        _, scheme = built
+        back = graph_scheme_from_dict(
+            json.loads(json.dumps(graph_scheme_to_dict(scheme)))
+        )
+        assert back.k == scheme.k
+        assert back.labels == scheme.labels
+        for v in scheme.tables:
+            assert back.tables[v].trees == scheme.tables[v].trees
+
+    def test_stretch_identical_after_reload(self, built):
+        graph, scheme = built
+        buf = io.StringIO()
+        save_scheme(scheme, buf)
+        buf.seek(0)
+        loaded = load_scheme(buf)
+        pairs = sample_pairs(list(graph.nodes), 50, seed=1)
+        before = measure_stretch(scheme, graph, pairs)
+        after = measure_stretch(loaded, graph, pairs)
+        assert before.max_stretch == pytest.approx(after.max_stretch)
+
+    def test_save_unknown_object_rejected(self):
+        with pytest.raises(InputError):
+            save_scheme(object(), io.StringIO())
+
+    def test_load_unknown_kind_rejected(self):
+        buf = io.StringIO(json.dumps({"format": 1, "kind": "mystery"}))
+        with pytest.raises(InputError):
+            load_scheme(buf)

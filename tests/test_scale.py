@@ -1,0 +1,66 @@
+"""Larger-scale end-to-end checks (still seconds, thanks to the exact-key
+memory accounting fix; these lock in that the library handles thousands of
+vertices, not just the unit-test sizes)."""
+
+import math
+import random
+
+import pytest
+
+from repro.congest import Network
+from repro.core import build_distributed_scheme
+from repro.graphs import random_connected_graph, spanning_tree_of, tree_distance
+from repro.routing import measure_stretch, route_in_tree, sample_pairs
+from repro.treerouting import build_distributed_tree_scheme
+from repro.tz import build_tree_scheme
+
+
+class TestTreeRoutingAtScale:
+    @pytest.fixture(scope="class")
+    def built(self):
+        graph = random_connected_graph(5000, seed=271)
+        tree = spanning_tree_of(graph, style="dfs", seed=271)
+        net = Network(graph)
+        build = build_distributed_tree_scheme(net, tree, seed=27)
+        return graph, tree, build
+
+    def test_matches_centralized_at_5000(self, built):
+        _, tree, build = built
+        cent = build_tree_scheme(tree)
+        assert build.scheme.tables == cent.tables
+        assert build.scheme.labels == cent.labels
+
+    def test_memory_still_logarithmic(self, built):
+        _, tree, build = built
+        assert build.max_memory_words <= 12 * math.log2(len(tree)) + 40
+
+    def test_rounds_within_sqrt_polylog_budget(self, built):
+        _, tree, build = built
+        n = len(tree)
+        # Õ(√n + D): at n=5000 the polylog² factor still rivals √n, so the
+        # meaningful check is the explicit budget, not rounds < n.
+        assert build.rounds <= 2 * math.sqrt(n) * math.log2(n) ** 2
+
+    def test_routing_exact_at_scale(self, built):
+        graph, tree, build = built
+        weight = lambda u, v: graph[u][v]["weight"]
+        rng = random.Random(6)
+        for _ in range(30):
+            u, v = rng.sample(list(tree), 2)
+            result = route_in_tree(build.scheme, u, v, weight_of=weight)
+            assert result.length == pytest.approx(tree_distance(tree, weight, u, v))
+
+
+class TestGeneralSchemeAtScale:
+    def test_n_1000_k_3(self):
+        graph = random_connected_graph(1000, seed=272)
+        report = build_distributed_scheme(graph, 3, seed=27)
+        stretch = measure_stretch(
+            report.scheme, graph, sample_pairs(list(graph.nodes), 100, seed=28)
+        )
+        assert stretch.max_stretch <= 9 + 1e-9
+        # memory stays within polylog of table size at n=1000 too
+        assert report.max_memory_words <= (
+            8 * math.log2(1000) ** 2 * report.scheme.max_table_words()
+        )
+        assert report.max_memory_words < math.sqrt(1000) * report.scheme.max_table_words()

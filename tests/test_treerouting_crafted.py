@@ -1,0 +1,177 @@
+"""Closed-form tests of the distributed tree routing on crafted shapes.
+
+Random trees exercise breadth; these shapes pin exact expected values:
+
+* **path**: every internal vertex has one (heavy) child -> no light edges,
+  DFS intervals are suffix ranges;
+* **star**: the hub's interval is (1, n) and every leaf is a singleton;
+  exactly one child is heavy, the rest appear as light edges;
+* **perfect binary tree**: the light-edge count of a leaf equals its depth
+  minus the number of heavy turns, and sizes follow 2^h - 1;
+* **broom** (path + leaf bundle at the end): combines both regimes.
+
+All of them run through the *distributed* pipeline on a network that
+contains the tree (plus chords so D stays small), and are checked against
+closed forms, not just against the centralized implementation.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.congest import Network
+from repro.routing import route_in_tree
+from repro.treerouting import build_distributed_tree_scheme
+
+
+def network_with_chords(tree_edges, n):
+    """The tree plus a few chords to keep the hop-diameter small."""
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for a, b in tree_edges:
+        g.add_edge(a, b, weight=1.0)
+    hub = 0
+    for v in range(1, n, max(2, n // 8)):
+        if not g.has_edge(hub, v):
+            g.add_edge(hub, v, weight=1.0)
+    return g
+
+
+def build(tree_parent, n):
+    edges = [(v, p) for v, p in tree_parent.items() if p is not None]
+    net = Network(network_with_chords(edges, n))
+    return build_distributed_tree_scheme(net, tree_parent, seed=3)
+
+
+class TestPath:
+    N = 33
+
+    @pytest.fixture(scope="class")
+    def scheme(self):
+        parent = {0: None}
+        for v in range(1, self.N):
+            parent[v] = v - 1
+        return build(parent, self.N).scheme
+
+    def test_no_light_edges_anywhere(self, scheme):
+        assert all(not l.light_edges for l in scheme.labels.values())
+
+    def test_intervals_are_suffixes(self, scheme):
+        for v in range(self.N):
+            assert scheme.tables[v].enter == v + 1
+            assert scheme.tables[v].exit_ == self.N
+
+    def test_heavy_chain(self, scheme):
+        for v in range(self.N - 1):
+            assert scheme.tables[v].heavy == v + 1
+        assert scheme.tables[self.N - 1].heavy is None
+
+    def test_route_end_to_end(self, scheme):
+        result = route_in_tree(scheme, 0, self.N - 1)
+        assert result.hops == self.N - 1
+
+
+class TestStar:
+    N = 26
+
+    @pytest.fixture(scope="class")
+    def scheme(self):
+        parent = {0: None}
+        for v in range(1, self.N):
+            parent[v] = 0
+        return build(parent, self.N).scheme
+
+    def test_hub_interval(self, scheme):
+        assert (scheme.tables[0].enter, scheme.tables[0].exit_) == (1, self.N)
+
+    def test_leaves_are_singletons(self, scheme):
+        for v in range(1, self.N):
+            t = scheme.tables[v]
+            assert t.exit_ == t.enter
+
+    def test_exactly_one_heavy_leaf(self, scheme):
+        heavy = scheme.tables[0].heavy
+        light_children = {
+            edge[1] for label in scheme.labels.values() for edge in label.light_edges
+        }
+        assert heavy not in light_children
+        assert light_children == set(range(1, self.N)) - {heavy}
+
+    def test_leaf_labels_have_one_light_edge(self, scheme):
+        heavy = scheme.tables[0].heavy
+        for v in range(1, self.N):
+            expected = 0 if v == heavy else 1
+            assert len(scheme.labels[v].light_edges) == expected
+
+    def test_leaf_to_leaf_route(self, scheme):
+        result = route_in_tree(scheme, 1, self.N - 1)
+        assert result.hops == 2
+        assert result.path[1] == 0
+
+
+class TestPerfectBinaryTree:
+    DEPTH = 4  # 31 vertices
+
+    @pytest.fixture(scope="class")
+    def scheme(self):
+        n = 2 ** (self.DEPTH + 1) - 1
+        parent = {0: None}
+        for v in range(1, n):
+            parent[v] = (v - 1) // 2
+        return build(parent, n).scheme
+
+    def test_subtree_sizes_follow_powers(self, scheme):
+        n = 2 ** (self.DEPTH + 1) - 1
+        for v in range(n):
+            depth = v.bit_length() - (0 if v else 0)
+            # depth of vertex v in heap numbering:
+            d = (v + 1).bit_length() - 1
+            size = 2 ** (self.DEPTH - d + 1) - 1
+            t = scheme.tables[v]
+            assert t.exit_ - t.enter + 1 == size
+
+    def test_light_edges_bounded_by_depth(self, scheme):
+        n = 2 ** (self.DEPTH + 1) - 1
+        for v in range(n):
+            d = (v + 1).bit_length() - 1
+            assert len(scheme.labels[v].light_edges) <= d
+
+    def test_sibling_route_goes_through_parent(self, scheme):
+        result = route_in_tree(scheme, 3, 4)
+        assert result.path == [3, 1, 4]
+
+
+class TestBroom:
+    HANDLE = 16
+    BRISTLES = 10
+
+    @pytest.fixture(scope="class")
+    def scheme(self):
+        n = self.HANDLE + self.BRISTLES
+        parent = {0: None}
+        for v in range(1, self.HANDLE):
+            parent[v] = v - 1
+        for b in range(self.BRISTLES):
+            parent[self.HANDLE + b] = self.HANDLE - 1
+        return build(parent, n).scheme
+
+    def test_handle_has_no_light_edges(self, scheme):
+        # Every handle vertex's subtree is the entire remainder: heavy chain.
+        for v in range(self.HANDLE):
+            assert scheme.labels[v].light_edges == ()
+
+    def test_bristles_have_one_light_edge_except_heavy(self, scheme):
+        tip = self.HANDLE - 1
+        heavy = scheme.tables[tip].heavy
+        for b in range(self.BRISTLES):
+            v = self.HANDLE + b
+            expected = 0 if v == heavy else 1
+            assert len(scheme.labels[v].light_edges) == expected
+
+    def test_bristle_to_bristle(self, scheme):
+        a, b = self.HANDLE, self.HANDLE + self.BRISTLES - 1
+        result = route_in_tree(scheme, a, b)
+        assert result.hops == 2
+
+    def test_root_to_bristle_runs_whole_handle(self, scheme):
+        result = route_in_tree(scheme, 0, self.HANDLE + 1)
+        assert result.hops == self.HANDLE

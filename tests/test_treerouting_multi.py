@@ -1,0 +1,81 @@
+"""Tests for parallel multi-tree construction (Theorem 2, second claim)."""
+
+import math
+import random
+
+import pytest
+
+from repro.congest import Network
+from repro.errors import InputError
+from repro.graphs import random_connected_graph, spanning_tree_of, tree_distance
+from repro.routing import route_in_tree
+from repro.treerouting.multi import build_many_tree_schemes, max_trees_per_vertex
+from repro.tz import build_tree_scheme
+
+
+@pytest.fixture(scope="module")
+def built():
+    graph = random_connected_graph(200, seed=111)
+    trees = {
+        f"t{i}": spanning_tree_of(graph, style="random", seed=200 + i)
+        for i in range(4)
+    }
+    net = Network(graph)
+    build = build_many_tree_schemes(net, trees, seed=4)
+    return graph, trees, net, build
+
+
+class TestMultiTree:
+    def test_all_schemes_built(self, built):
+        _, trees, _, build = built
+        assert set(build.schemes) == set(trees)
+
+    def test_s_measured(self, built):
+        _, trees, _, build = built
+        assert build.s == max_trees_per_vertex(trees) == len(trees)
+
+    def test_q_uses_s(self, built):
+        graph, trees, _, build = built
+        n = graph.number_of_nodes()
+        assert build.q == pytest.approx(1.0 / math.sqrt(len(trees) * n))
+
+    def test_every_scheme_matches_centralized(self, built):
+        _, trees, _, build = built
+        for tid, tree in trees.items():
+            cent = build_tree_scheme(tree, tree_id=tid)
+            assert build.schemes[tid].tables == cent.tables
+            assert build.schemes[tid].labels == cent.labels
+
+    def test_routing_exact_in_every_tree(self, built):
+        graph, trees, _, build = built
+        weight = lambda u, v: graph[u][v]["weight"]
+        rng = random.Random(1)
+        for tid, tree in trees.items():
+            for _ in range(25):
+                u, v = rng.sample(list(tree), 2)
+                result = route_in_tree(build.schemes[tid], u, v, weight_of=weight)
+                assert result.length == pytest.approx(
+                    tree_distance(tree, weight, u, v)
+                )
+
+    def test_parallel_rounds_below_sequential(self, built):
+        _, _, _, build = built
+        assert build.rounds_parallel < build.rounds_sequential
+
+    def test_offsets_within_window(self, built):
+        graph, trees, _, build = built
+        n = graph.number_of_nodes()
+        window = math.sqrt(len(trees) * n) * math.log(n) + 1
+        for off in build.offsets.values():
+            assert 1 <= off <= window
+
+    def test_memory_scales_with_s_not_sqrt_n(self, built):
+        graph, trees, _, build = built
+        n = graph.number_of_nodes()
+        s = len(trees)
+        assert build.max_memory_words <= 12 * s * math.log2(n) + 60
+
+    def test_empty_trees_rejected(self, built):
+        graph, _, _, _ = built
+        with pytest.raises(InputError):
+            build_many_tree_schemes(Network(graph), {}, seed=1)
