@@ -3,21 +3,56 @@
 Every bench prints its measured table/figure (so ``pytest benchmarks/
 --benchmark-only -s`` reproduces the EXPERIMENTS.md data verbatim) and also
 writes it under ``benchmarks/results/`` for later inspection.
+
+Benches that pass structured ``data`` additionally get the machine-readable
+twin of the ``.txt`` block (``benchmarks/results/<name>.json``) and a
+``BENCH_<name>.json`` at the repo root — the perf-trajectory files that
+accumulate across PRs (docs/observability.md).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
+from typing import Any, Dict, Optional
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
-def emit(name: str, text: str) -> None:
-    """Print a rendered result block and persist it."""
+def emit(
+    name: str,
+    text: str,
+    *,
+    data: Any = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Print a rendered result block and persist it.
+
+    ``text`` goes to ``results/<name>.txt`` verbatim.  When ``data`` is
+    given (records/rows of the same result), a JSON payload with
+    provenance — name, timestamp, package version, optional ``meta``
+    (workload params, verdicts) — is written both as the result's JSON
+    twin and as the repo-root ``BENCH_<name>.json`` trajectory file.
+    """
     banner = f"\n===== {name} =====\n"
     print(banner + text)
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        from repro import __version__
+
+        payload = {
+            "name": name,
+            "created_unix": round(time.time(), 3),
+            "package_version": __version__,
+            "meta": meta or {},
+            "data": data,
+        }
+        blob = json.dumps(payload, indent=2, default=repr) + "\n"
+        (RESULTS_DIR / f"{name}.json").write_text(blob)
+        (REPO_ROOT / f"BENCH_{name}.json").write_text(blob)
 
 
 def once(benchmark, fn):

@@ -69,7 +69,7 @@ def bench_ablation_aspect_ratio(benchmark):
     records = once(benchmark, _run)
     emit("ablation_aspect_ratio", format_records(
         records, title="A1: aspect-ratio independence (tree routing, n=500)"
-    ))
+    ), data=records)
     rounds = [r["rounds"] for r in records]
     # (a) construction rounds do not grow with Λ.
     assert max(rounds) <= 1.2 * min(rounds)

@@ -49,7 +49,7 @@ def bench_ablation_epsilon(benchmark):
     records = once(benchmark, _run)
     emit("ablation_epsilon", format_records(
         records, title=f"A3: approximation slack epsilon (n={N}, k={K})"
-    ))
+    ), data=records)
     for r in records:
         # C̃ ⊆ C always (Claim 9): coverage can never exceed 1.
         assert r["cluster_coverage"] <= 1.0 + 1e-12

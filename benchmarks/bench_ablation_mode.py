@@ -45,7 +45,7 @@ def bench_ablation_mode(benchmark):
     records = once(benchmark, _run)
     emit("ablation_mode", format_records(
         records, title=f"A4: routing mode first vs best (k={K})"
-    ))
+    ), data=records)
     for r in records:
         assert r["best_mean"] <= r["first_mean"] + 1e-9
         assert r["best_max"] <= 4 * K - 3 + 1e-9

@@ -48,7 +48,7 @@ def bench_ablation_q(benchmark):
     records = once(benchmark, _run)
     emit("ablation_q", format_records(
         records, title=f"A2: sampling rate q (tree routing, n={N})"
-    ))
+    ), data=records)
     by_label = {r["q"]: r for r in records}
     paper = by_label["q = 1/√n (paper)"]
     # The balanced choice beats both extremes.

@@ -22,7 +22,7 @@ def bench_fig_graph_rounds(benchmark):
     )
     emit("fig7_graph_rounds", format_records(
         records, title="F7: general-scheme construction cost vs n (k=3)"
-    ))
+    ), data=records)
     # Memory grows much slower than sqrt(n): compare growth ratios.
     m0, m1 = records[0]["memory_max"], records[-1]["memory_max"]
     n0, n1 = records[0]["n"], records[-1]["n"]

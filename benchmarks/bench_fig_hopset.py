@@ -17,7 +17,7 @@ def bench_fig_hopset(benchmark):
     )
     emit("fig6_hopset", format_records(
         records, title="F6: hopset size / memory / measured beta vs kappa"
-    ))
+    ), data=records)
     # The hopset property held for every kappa (measure_hopbound raises
     # otherwise), and memory decreases as kappa grows.
     degrees = [r["max_out_degree"] for r in records]

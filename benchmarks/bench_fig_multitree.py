@@ -18,7 +18,7 @@ def bench_fig_multitree(benchmark):
     )
     emit("fig8_multitree", format_records(
         records, title="F8: multi-tree construction, parallel vs naive"
-    ))
+    ), data=records)
     for r in records[1:]:
         assert r["rounds_parallel"] < r["rounds_sequential_sum"]
     # Parallel schedule grows sub-linearly in s; the naive sum linearly.

@@ -17,7 +17,7 @@ def bench_fig_sizes_vs_k(benchmark):
     records = once(benchmark, lambda: fig_sizes_vs_k(n=N, ks=(2, 3, 4), seed=3))
     emit("fig5_sizes_vs_k", format_records(
         records, title="F5: table/label words vs k (general scheme)"
-    ))
+    ), data=records)
     # Tables shrink with k (mean; the max is noisier at small n).
     means = [r["table_mean"] for r in records]
     assert means[-1] < means[0]

@@ -17,7 +17,7 @@ def bench_fig_stretch(benchmark):
     )
     emit("fig4_stretch", format_records(
         records, title="F4: measured stretch vs 4k-3 bound"
-    ))
+    ), data=records)
     for r in records:
         assert r["stretch_max"] <= r["bound_4k_minus_3"] + 1e-9
         assert r["stretch_mean"] >= 1.0

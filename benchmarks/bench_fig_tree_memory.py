@@ -18,7 +18,7 @@ def bench_fig_tree_memory(benchmark):
     records = once(benchmark, lambda: fig_tree_memory(sizes=SIZES, seed=3))
     emit("fig2_tree_memory", format_records(
         records, title="F2: construction memory per vertex vs n"
-    ))
+    ), data=records)
     for r in records:
         assert r["memory_this_paper"] <= 12 * math.log2(r["n"]) + 40
         assert r["memory_en16b"] >= math.sqrt(r["n"]) / 2

@@ -16,7 +16,7 @@ def bench_fig_tree_rounds(benchmark):
     records = once(benchmark, lambda: fig_tree_rounds(sizes=SIZES, seed=3))
     emit("fig1_tree_rounds", format_records(
         records, title="F1: tree-routing construction rounds vs n"
-    ))
+    ), data=records)
     # Shape: the normalized constant does not grow with n.
     normalized = [r["rounds_per_sqrt_n_log2"] for r in records]
     assert max(normalized) <= 3 * normalized[0] + 1.0

@@ -18,7 +18,7 @@ def bench_fig_tree_sizes(benchmark):
     records = once(benchmark, lambda: fig_tree_sizes(sizes=SIZES, seed=3))
     emit("fig3_tree_sizes", format_records(
         records, title="F3: tree-routing artifact sizes vs n (words)"
-    ))
+    ), data=records)
     for r in records:
         assert r["table_this_paper"] <= 5  # O(1), n-independent
         assert r["label_this_paper"] <= 1 + 2 * math.log2(r["n"])

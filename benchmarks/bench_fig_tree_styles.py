@@ -15,7 +15,7 @@ def bench_fig_tree_styles(benchmark):
     records = once(benchmark, lambda: fig_tree_styles(n=800, seed=3))
     emit("fig9_tree_styles", format_records(
         records, title="F9: tree-routing cost across tree shapes (n=800)"
-    ))
+    ), data=records)
     depths = [r["tree_depth"] for r in records]
     rounds = [r["rounds"] for r in records]
     memories = [r["memory"] for r in records]

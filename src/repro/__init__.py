@@ -67,6 +67,12 @@ from .graphs import (
     spanning_tree_of,
 )
 from .hopsets import Hopset, build_hopset, hopset_bellman_ford, measure_hopbound
+from .telemetry import (
+    BoundVerdict,
+    RunRecord,
+    TelemetryCollector,
+    collect,
+)
 from .routing import (
     GraphLabel,
     GraphRoutingScheme,
@@ -99,6 +105,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BfsTree",
+    "BoundVerdict",
     "BuildReport",
     "CongestModelViolation",
     "DistributedTreeBuild",
@@ -118,6 +125,8 @@ __all__ = [
     "RouteResult",
     "RoutingFailure",
     "RunMetrics",
+    "RunRecord",
+    "TelemetryCollector",
     "StretchReport",
     "TreeLabel",
     "TreeRoutingScheme",
@@ -132,6 +141,7 @@ __all__ = [
     "build_many_tree_schemes",
     "build_tree_scheme",
     "caterpillar_tree",
+    "collect",
     "convergecast_up",
     "flood_down",
     "grid_graph",

@@ -4,8 +4,20 @@ Regenerates the paper's tables and the figure sweeps without pytest::
 
     python -m repro table2                 # Table 2, default workload
     python -m repro table1 --n 200 --k 3   # Table 1
-    python -m repro fig tree-memory        # one of the F1-F8 sweeps
+    python -m repro fig tree-memory        # one of the F1-F9 sweeps
     python -m repro demo                   # tiny end-to-end demo
+
+Telemetry surfaces (docs/observability.md):
+
+    python -m repro table2 --json          # RunRecord manifest + verdicts
+    python -m repro table1 --json --strict # exit 1 on any bound violation
+    python -m repro trace tree-rounds --jsonl   # manifest + per-row JSONL
+    python -m repro fig stretch --profile  # span tree with round breakdown
+    python -m repro report --fast --json   # both tables' RunRecords + figures
+
+Every subcommand takes ``--quiet`` (suppress stdout) and ``--out <path>``
+(write the output to a file) so telemetry can be redirected without shell
+plumbing.
 
 This is a convenience shell over :mod:`repro.analysis`; the benchmark suite
 (``pytest benchmarks/ --benchmark-only``) remains the canonical,
@@ -15,7 +27,10 @@ assertion-checked way to reproduce EXPERIMENTS.md.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
+from pathlib import Path
 
 from .analysis import (
     ReportSpec,
@@ -30,9 +45,13 @@ from .analysis import (
     fig_tree_styles,
     format_records,
     generate_report,
+    generate_report_json,
     run_table1,
+    run_table1_recorded,
     run_table2,
+    run_table2_recorded,
 )
+from .telemetry import collect, make_run_record, render_profile
 
 FIGURES = {
     "tree-rounds": (fig_tree_rounds, "F1: tree-routing rounds vs n"),
@@ -48,34 +67,71 @@ FIGURES = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--quiet", action="store_true",
+                        help="suppress stdout (useful with --out)")
+    common.add_argument("--out", type=str, default=None, metavar="PATH",
+                        help="also write the output to PATH")
+    common.add_argument("--profile", action="store_true",
+                        help="append the telemetry span tree "
+                             "(wall-clock + round breakdown)")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce tables/figures of Elkin-Neiman PODC 2018.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    t1 = sub.add_parser("table1", help="compact routing comparison (Table 1)")
+    t1 = sub.add_parser("table1", parents=[common],
+                        help="compact routing comparison (Table 1)")
     t1.add_argument("--n", type=int, default=200)
     t1.add_argument("--k", type=int, default=3)
     t1.add_argument("--seed", type=int, default=0)
     t1.add_argument("--pairs", type=int, default=100)
+    t1.add_argument("--json", action="store_true",
+                    help="emit the RunRecord manifest as JSON")
+    t1.add_argument("--strict", action="store_true",
+                    help="exit 1 if any paper-bound verdict fails")
 
-    t2 = sub.add_parser("table2", help="tree routing comparison (Table 2)")
+    t2 = sub.add_parser("table2", parents=[common],
+                        help="tree routing comparison (Table 2)")
     t2.add_argument("--n", type=int, default=1000)
     t2.add_argument("--seed", type=int, default=0)
+    t2.add_argument("--json", action="store_true",
+                    help="emit the RunRecord manifest as JSON")
+    t2.add_argument("--strict", action="store_true",
+                    help="exit 1 if any paper-bound verdict fails")
 
-    fig = sub.add_parser("fig", help="run one figure sweep")
+    fig = sub.add_parser("fig", parents=[common], help="run one figure sweep")
     fig.add_argument("name", choices=sorted(FIGURES))
+    fig.add_argument("--json", action="store_true",
+                     help="emit the sweep records as JSON")
 
-    sub.add_parser("demo", help="tiny end-to-end demonstration")
+    trace = sub.add_parser(
+        "trace", parents=[common],
+        help="run one figure sweep under telemetry, emit structured records",
+    )
+    trace.add_argument("name", choices=sorted(FIGURES))
+    trace.add_argument("--jsonl", action="store_true",
+                       help="one JSON object per line: RunRecord manifest "
+                            "first, then each sweep row")
 
-    rep = sub.add_parser("report", help="full markdown reproduction report")
+    sub.add_parser("demo", parents=[common],
+                   help="tiny end-to-end demonstration")
+
+    rep = sub.add_parser("report", parents=[common],
+                         help="full markdown reproduction report")
     rep.add_argument("--fast", action="store_true",
                      help="sub-minute workload sizes")
+    rep.add_argument("--json", action="store_true",
+                     help="machine-readable report: table RunRecords + "
+                          "figure records in one JSON document")
+    rep.add_argument("--strict", action="store_true",
+                     help="with --json: exit 1 if any bound verdict fails")
     return parser
 
 
-def _demo() -> None:
+def _demo() -> str:
     from .congest import Network
     from .graphs import random_connected_graph, spanning_tree_of
     from .routing import route_in_tree
@@ -90,26 +146,126 @@ def _demo() -> None:
         build.scheme, nodes[0], nodes[-1],
         weight_of=lambda u, v: graph[u][v]["weight"],
     )
-    print(f"n=200 tree routing: {build.rounds} rounds, "
-          f"{build.max_memory_words} words/vertex peak, "
-          f"route {nodes[0]}->{nodes[-1]}: {result.hops} hops, "
-          f"length {result.length:.2f} (exact)")
+    return (f"n=200 tree routing: {build.rounds} rounds, "
+            f"{build.max_memory_words} words/vertex peak, "
+            f"route {nodes[0]}->{nodes[-1]}: {result.hops} hops, "
+            f"length {result.length:.2f} (exact)")
+
+
+def _deliver(text: str, args: argparse.Namespace) -> None:
+    """Route output according to the common --quiet/--out flags."""
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + ("" if text.endswith("\n") else "\n"))
+    if not args.quiet:
+        print(text)
+
+
+def _run_table(args: argparse.Namespace) -> int:
+    """Shared driver for the table1/table2 subcommands."""
+    recorded = args.json or args.strict or args.profile
+    if args.command == "table1":
+        if recorded:
+            result, record = run_table1_recorded(
+                args.n, args.k, seed=args.seed, pairs=args.pairs
+            )
+        else:
+            result = run_table1(
+                args.n, args.k, seed=args.seed, pairs=args.pairs
+            )
+            record = None
+    else:
+        if recorded:
+            result, record = run_table2_recorded(args.n, seed=args.seed)
+        else:
+            result = run_table2(args.n, seed=args.seed)
+            record = None
+
+    parts = []
+    if args.json:
+        parts.append(record.to_json())
+    else:
+        parts.append(result.render())
+    if args.profile and record is not None:
+        parts.append(render_profile(record.spans, record.counters,
+                                    record.gauges))
+    _deliver("\n\n".join(parts), args)
+    if args.strict and record is not None and not record.passed:
+        failed = ", ".join(v.name for v in record.failed_verdicts())
+        print(f"bound-checker violations: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_fig(args: argparse.Namespace) -> int:
+    fn, title = FIGURES[args.name]
+    if args.profile:
+        with collect() as tele:
+            records = fn()
+        body = (json.dumps(records, indent=2, default=repr)
+                if args.json else format_records(records, title=title))
+        _deliver(body + "\n\n" + tele.profile(), args)
+    else:
+        records = fn()
+        body = (json.dumps(records, indent=2, default=repr)
+                if args.json else format_records(records, title=title))
+        _deliver(body, args)
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    fn, title = FIGURES[args.name]
+    started = time.perf_counter()
+    with collect() as tele:
+        records = fn()
+    record = make_run_record(
+        f"fig/{args.name}",
+        workload={"figure": args.name, "title": title},
+        columns=records,
+        collector=tele,
+        wall_s=time.perf_counter() - started,
+    )
+    if args.jsonl:
+        lines = [record.to_json(indent=None)]
+        lines += [json.dumps(r, default=repr) for r in records]
+        body = "\n".join(lines)
+    else:
+        body = record.to_json()
+    parts = [body]
+    if args.profile:
+        parts.append(tele.profile())
+    _deliver("\n\n".join(parts), args)
+    return 0
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "table1":
-        print(run_table1(args.n, args.k, seed=args.seed, pairs=args.pairs).render())
-    elif args.command == "table2":
-        print(run_table2(args.n, seed=args.seed).render())
-    elif args.command == "fig":
-        fn, title = FIGURES[args.name]
-        print(format_records(fn(), title=title))
-    elif args.command == "demo":
-        _demo()
-    elif args.command == "report":
+    if args.command in ("table1", "table2"):
+        return _run_table(args)
+    if args.command == "fig":
+        return _run_fig(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "demo":
+        if args.profile:
+            with collect() as tele:
+                text = _demo()
+            _deliver(text + "\n\n" + tele.profile(), args)
+        else:
+            _deliver(_demo(), args)
+        return 0
+    if args.command == "report":
         spec = ReportSpec.fast() if args.fast else ReportSpec()
-        print(generate_report(spec))
+        if args.json:
+            doc = generate_report_json(spec)
+            _deliver(json.dumps(doc, indent=2, default=repr), args)
+            if args.strict and not doc["passed"]:
+                print("bound-checker violations in report", file=sys.stderr)
+                return 1
+        else:
+            _deliver(generate_report(spec), args)
+        return 0
     return 0
 
 

@@ -11,9 +11,18 @@ from .figures import (
     fig_tree_sizes,
     fig_tree_styles,
 )
-from .report import ReportSpec, generate_report
+from .report import ReportSpec, generate_report, generate_report_json
 from .reporting import format_records, format_table
-from .tables import Table1Result, Table2Result, run_table1, run_table2
+from .tables import (
+    Table1Result,
+    Table2Result,
+    run_table1,
+    run_table1_recorded,
+    run_table2,
+    run_table2_recorded,
+    table1_verdicts,
+    table2_verdicts,
+)
 
 __all__ = [
     "ReportSpec",
@@ -30,7 +39,12 @@ __all__ = [
     "fig_tree_styles",
     "format_records",
     "generate_report",
+    "generate_report_json",
     "format_table",
     "run_table1",
+    "run_table1_recorded",
     "run_table2",
+    "run_table2_recorded",
+    "table1_verdicts",
+    "table2_verdicts",
 ]

@@ -22,7 +22,12 @@ from .figures import (
     fig_tree_styles,
 )
 from .reporting import format_records
-from .tables import run_table1, run_table2
+from .tables import (
+    run_table1,
+    run_table1_recorded,
+    run_table2,
+    run_table2_recorded,
+)
 
 
 @dataclass
@@ -103,3 +108,40 @@ def generate_report(spec: Optional[ReportSpec] = None) -> str:
         "--benchmark-only`._"
     )
     return "\n".join(sections)
+
+
+def generate_report_json(spec: Optional[ReportSpec] = None) -> Dict[str, object]:
+    """Machine-readable twin of :func:`generate_report`.
+
+    Runs the same harnesses but returns a single JSON-serializable dict:
+    the table runs become full :class:`~repro.telemetry.RunRecord`
+    manifests (workload, spans, counters, paper-bound verdicts), the
+    figure sweeps stay raw records, and ``passed`` aggregates every
+    verdict so CI can gate on one field.
+    """
+    spec = spec or ReportSpec()
+    started = time.time()
+
+    _, t2_record = run_table2_recorded(spec.table2_n, seed=spec.seed)
+    _, t1_record = run_table1_recorded(
+        spec.table1_n, spec.table1_k, seed=spec.seed, pairs=spec.pairs
+    )
+
+    figures: Dict[str, List[Dict[str, object]]] = {
+        "tree_rounds": fig_tree_rounds(sizes=spec.tree_sizes, seed=spec.seed),
+        "tree_memory": fig_tree_memory(sizes=spec.tree_sizes, seed=spec.seed),
+        "stretch": fig_stretch(
+            n=spec.stretch_n, ks=(2, 3), seed=spec.seed, pairs=spec.pairs
+        ),
+        "tree_styles": fig_tree_styles(n=max(spec.tree_sizes), seed=spec.seed),
+    }
+
+    return {
+        "kind": "report",
+        "seed": spec.seed,
+        "table2": t2_record.to_dict(),
+        "table1": t1_record.to_dict(),
+        "figures": figures,
+        "passed": t2_record.passed and t1_record.passed,
+        "wall_s": time.time() - started,
+    }

@@ -10,8 +10,9 @@ outputs and the shape assertions).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -22,6 +23,16 @@ from ..congest.network import Network
 from ..core.build import build_distributed_scheme
 from ..graphs.generators import random_connected_graph, spanning_tree_of
 from ..routing.router import measure_stretch, sample_pairs
+from ..telemetry import (
+    BoundVerdict,
+    RunRecord,
+    check_graph_columns,
+    check_table1_relations,
+    check_table2_relations,
+    check_tree_columns,
+    collect,
+    make_run_record,
+)
 from ..treerouting.scheme import build_distributed_tree_scheme
 from ..tz.graph_scheme import build_centralized_scheme
 from ..tz.tree_scheme import build_tree_scheme
@@ -111,6 +122,8 @@ class Table1Result:
     n: int
     k: int
     rows: List[Dict[str, Any]] = field(default_factory=list)
+    epsilon: float = 0.05
+    hop_diameter_bound: int = 0
 
     def render(self) -> str:
         return format_records(
@@ -137,10 +150,11 @@ def run_table1(
     """Build the Table-1 schemes on one network and measure every column."""
     graph = random_connected_graph(n, seed=seed, avg_degree=avg_degree)
     pair_sample = sample_pairs(list(graph.nodes), pairs, seed=seed + 1)
-    result = Table1Result(n=n, k=k)
+    result = Table1Result(n=n, k=k, epsilon=epsilon)
 
     # This paper (Appendix B, distributed).
     report = build_distributed_scheme(graph, k, epsilon=epsilon, seed=seed)
+    result.hop_diameter_bound = report.hop_diameter_bound
     stretch = measure_stretch(report.scheme, graph, pair_sample)
     result.rows.append({
         "scheme": "this-paper",
@@ -209,3 +223,111 @@ def run_table1(
         "paper_bound": "NA / O(overlap·log Λ) / O(log Λ·log n) / O(1) / NA",
     })
     return result
+
+
+# -- telemetry: bound verdicts + RunRecord manifests -------------------------
+
+def table2_verdicts(result: Table2Result) -> List[BoundVerdict]:
+    """Theorem-2 verdicts for every measured Table-2 column."""
+    ours = result.row("this-paper")
+    verdicts = check_tree_columns(
+        result.n,
+        rounds=ours["rounds"],
+        table_words=ours["table_words"],
+        label_words=ours["label_words"],
+        memory_words=ours["memory_words"],
+        hop_diameter_bound=result.hop_diameter_bound,
+    )
+    verdicts += check_table2_relations(
+        ours, result.row("EN16b-baseline"), result.row("TZ01b-centralized")
+    )
+    return verdicts
+
+
+def table1_verdicts(result: Table1Result) -> List[BoundVerdict]:
+    """Theorem-3 verdicts for every measured Table-1 column."""
+    ours = result.row("this-paper")
+    verdicts = check_graph_columns(
+        result.n,
+        result.k,
+        epsilon=result.epsilon,
+        rounds=ours["rounds"],
+        table_words=ours["table_words"],
+        label_words=ours["label_words"],
+        stretch_max=ours["stretch_max"],
+        memory_words=ours["memory_words"],
+        hop_diameter_bound=result.hop_diameter_bound,
+    )
+    verdicts += check_table1_relations(ours, n=result.n)
+    return verdicts
+
+
+def run_table2_recorded(
+    n: int = 1000,
+    *,
+    seed: int = 0,
+    tree_style: str = "dfs",
+    avg_degree: float = 6.0,
+) -> Tuple[Table2Result, RunRecord]:
+    """:func:`run_table2` under a telemetry collector; returns the result
+    plus a bound-checked :class:`RunRecord` manifest."""
+    started = time.perf_counter()
+    with collect() as tele:
+        result = run_table2(
+            n, seed=seed, tree_style=tree_style, avg_degree=avg_degree
+        )
+    record = make_run_record(
+        "table2",
+        workload={
+            "generator": "random_connected_graph",
+            "n": n,
+            "avg_degree": avg_degree,
+            "tree_style": tree_style,
+            "seed": seed,
+            "scheme": "tree-routing",
+            "hop_diameter_bound": result.hop_diameter_bound,
+        },
+        columns=result.rows,
+        verdicts=table2_verdicts(result),
+        collector=tele,
+        wall_s=time.perf_counter() - started,
+    )
+    return result, record
+
+
+def run_table1_recorded(
+    n: int = 300,
+    k: int = 3,
+    *,
+    seed: int = 0,
+    pairs: int = 150,
+    epsilon: float = 0.05,
+    avg_degree: float = 6.0,
+) -> Tuple[Table1Result, RunRecord]:
+    """:func:`run_table1` under a telemetry collector; returns the result
+    plus a bound-checked :class:`RunRecord` manifest."""
+    started = time.perf_counter()
+    with collect() as tele:
+        result = run_table1(
+            n, k, seed=seed, pairs=pairs, epsilon=epsilon,
+            avg_degree=avg_degree,
+        )
+    record = make_run_record(
+        "table1",
+        workload={
+            "generator": "random_connected_graph",
+            "n": n,
+            "k": k,
+            "avg_degree": avg_degree,
+            "pairs": pairs,
+            "epsilon": epsilon,
+            "seed": seed,
+            "scheme": "compact-routing",
+            "hop_diameter_bound": result.hop_diameter_bound,
+        },
+        columns=result.rows,
+        verdicts=table1_verdicts(result),
+        collector=tele,
+        wall_s=time.perf_counter() - started,
+    )
+    return result, record

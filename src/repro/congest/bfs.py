@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional
 
 from ..errors import InvariantViolation
+from ..telemetry import events as _tele
 from .network import Network
 
 NodeId = Hashable
@@ -58,34 +59,35 @@ def build_bfs_tree(net: Network, root: Optional[NodeId] = None) -> BfsTree:
     """
     if root is None:
         root = min(net.nodes(), key=repr)
-    net.begin_phase("bfs-tree")
-    parent: Dict[NodeId, Optional[NodeId]] = {root: None}
-    depth: Dict[NodeId, int] = {root: 0}
-    net.mem(root).store("bfs/parent", 2)
-    frontier = [root]
-    while frontier:
-        for u in frontier:
-            for w in net.ports(u):
-                if w not in parent:
-                    net.send(u, w, "bfs")
-        inboxes = net.tick()
-        next_frontier: List[NodeId] = []
-        for v, msgs in inboxes.items():
-            if v in parent:
-                continue
-            chosen = min(msgs, key=lambda m: repr(m.src))
-            parent[v] = chosen.src
-            depth[v] = depth[chosen.src] + 1
-            net.mem(v).store("bfs/parent", 2)
-            next_frontier.append(v)
-        frontier = next_frontier
-    if len(parent) != net.n:
-        raise InvariantViolation("BFS flood did not reach every vertex")
-    children: Dict[NodeId, List[NodeId]] = {v: [] for v in net.nodes()}
-    for v, p in parent.items():
-        if p is not None:
-            children[p].append(v)
-    for v in children:
-        children[v].sort(key=repr)
-    net.end_phase()
+    with _tele.span("congest/bfs", n=net.n):
+        net.begin_phase("bfs-tree")
+        parent: Dict[NodeId, Optional[NodeId]] = {root: None}
+        depth: Dict[NodeId, int] = {root: 0}
+        net.mem(root).store("bfs/parent", 2)
+        frontier = [root]
+        while frontier:
+            for u in frontier:
+                for w in net.ports(u):
+                    if w not in parent:
+                        net.send(u, w, "bfs")
+            inboxes = net.tick()
+            next_frontier: List[NodeId] = []
+            for v, msgs in inboxes.items():
+                if v in parent:
+                    continue
+                chosen = min(msgs, key=lambda m: repr(m.src))
+                parent[v] = chosen.src
+                depth[v] = depth[chosen.src] + 1
+                net.mem(v).store("bfs/parent", 2)
+                next_frontier.append(v)
+            frontier = next_frontier
+        if len(parent) != net.n:
+            raise InvariantViolation("BFS flood did not reach every vertex")
+        children: Dict[NodeId, List[NodeId]] = {v: [] for v in net.nodes()}
+        for v, p in parent.items():
+            if p is not None:
+                children[p].append(v)
+        for v in children:
+            children[v].sort(key=repr)
+        net.end_phase()
     return BfsTree(root=root, parent=parent, depth=depth, children=children)

@@ -33,6 +33,7 @@ from typing import Any, Callable, Hashable, List, Sequence, Tuple
 
 from .bfs import BfsTree
 from .network import Network
+from ..telemetry import events as _tele
 from ..wordsize import words_of
 
 NodeId = Hashable
@@ -63,19 +64,20 @@ def broadcast_all(
         slots += max(1, math.ceil(words_of(payload) / net.message_word_limit))
     rounds = 2 * (slots + height)
     total_words = sum(words_of(p) for _, p in items)
-    net.begin_phase(phase)
-    # Transit buffers on the pipeline: O(log n) words per relay vertex, whp
-    # (random start times, cf. the proof of Lemma 2).
-    buffer_words = max(1, int(math.log2(max(2, net.n))))
-    for v in net.nodes():
-        net.mem(v).store("relay/broadcast", buffer_words)
-    net.charge_rounds(
-        rounds,
-        messages=slots * (net.n - 1 + height),
-        words=total_words * (net.n - 1 + height),
-    )
-    net.free_key("relay/broadcast")
-    net.end_phase()
+    with _tele.span("congest/broadcast", phase=phase, items=len(items)):
+        net.begin_phase(phase)
+        # Transit buffers on the pipeline: O(log n) words per relay vertex,
+        # whp (random start times, cf. the proof of Lemma 2).
+        buffer_words = max(1, int(math.log2(max(2, net.n))))
+        for v in net.nodes():
+            net.mem(v).store("relay/broadcast", buffer_words)
+        net.charge_rounds(
+            rounds,
+            messages=slots * (net.n - 1 + height),
+            words=total_words * (net.n - 1 + height),
+        )
+        net.free_key("relay/broadcast")
+        net.end_phase()
     indexed = sorted(enumerate(items), key=lambda pair: (repr(pair[1][0]), pair[0]))
     return [payload for _, (_, payload) in indexed]
 

@@ -35,6 +35,15 @@ class PhaseRecord:
     def total_rounds(self) -> int:
         return self.rounds + self.charged_rounds
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "rounds": self.rounds,
+            "charged_rounds": self.charged_rounds,
+            "messages": self.messages,
+            "message_words": self.message_words,
+        }
+
 
 @dataclass
 class RunMetrics:
@@ -83,6 +92,17 @@ class RunMetrics:
         for record in self.phases:
             out[record.name] = out.get(record.name, 0) + record.total_rounds
         return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (used by telemetry RunRecords and benches)."""
+        return {
+            "rounds": self.rounds,
+            "charged_rounds": self.charged_rounds,
+            "total_rounds": self.total_rounds,
+            "messages": self.messages,
+            "message_words": self.message_words,
+            "phases": [p.to_dict() for p in self.phases],
+        }
 
     def summary(self) -> str:
         lines = [

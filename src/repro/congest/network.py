@@ -42,6 +42,7 @@ from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tupl
 import networkx as nx
 
 from ..errors import CongestModelViolation, InputError
+from ..telemetry import events as _tele
 from .memory import MemoryMeter
 from .message import Message
 from .metrics import RunMetrics
@@ -152,6 +153,7 @@ class Network:
         # Wide payloads occupy several rounds of the edge; charge the extra.
         if slots > 1:
             self.metrics.on_charge(slots - 1)
+            _tele.emit("congest.charged_rounds", slots - 1)
 
     def tick(self) -> Dict[NodeId, List[Message]]:
         """Deliver queued messages, advance one round, return inboxes."""
@@ -161,6 +163,11 @@ class Network:
             inboxes[msg.dst].append(msg)
             words += msg.words
         self.metrics.on_round(len(self._outbox), words)
+        if _tele._collectors:
+            _tele.emit("congest.rounds", 1)
+            if self._outbox:
+                _tele.emit("congest.messages", len(self._outbox))
+                _tele.emit("congest.message_words", words)
         self._outbox = []
         self._edge_load.clear()
         return inboxes
@@ -182,6 +189,12 @@ class Network:
         self.metrics.on_charge(int(math.ceil(rounds)))
         self.metrics.messages += messages
         self.metrics.message_words += words
+        if _tele._collectors:
+            _tele.emit("congest.charged_rounds", int(math.ceil(rounds)))
+            if messages:
+                _tele.emit("congest.messages", messages)
+            if words:
+                _tele.emit("congest.message_words", words)
 
     # -- phases ------------------------------------------------------------------
 

@@ -14,6 +14,7 @@ attached.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -55,24 +56,76 @@ class RoundTrace:
     def total_messages(self) -> int:
         return sum(s.messages for s in self.samples)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (round samples + charge events)."""
+        from dataclasses import asdict
+
+        return {
+            "samples": [asdict(s) for s in self.samples],
+            "charges": [asdict(c) for c in self.charges],
+        }
+
     def charged_total(self) -> int:
         return sum(c.rounds for c in self.charges)
 
-    def timeline(self, width: int = 60, buckets: int = 20) -> str:
-        """An ASCII sparkline of message volume over simulated rounds."""
+    def timeline(
+        self,
+        width: int = 60,
+        buckets: int = 20,
+        *,
+        mode: str = "sparkline",
+        max_rows: int = 40,
+    ) -> str:
+        """ASCII rendering of message volume over simulated rounds.
+
+        ``mode="sparkline"`` (default) compresses the whole run into a
+        single glyph line.  ``mode="rows"`` prints one bar-chart row per
+        round -- but width-capped and *bucketed*: a run longer than
+        ``max_rows`` rounds is grouped into at most ``max_rows`` round
+        ranges, so a 10k+-round trace still renders in one screen.
+        """
         if not self.samples:
             return "(no simulated rounds)"
-        per_bucket = max(1, len(self.samples) // buckets)
-        bars = []
-        for i in range(0, len(self.samples), per_bucket):
+        if mode == "sparkline":
+            per_bucket = max(1, len(self.samples) // buckets)
+            bars = []
+            for i in range(0, len(self.samples), per_bucket):
+                chunk = self.samples[i:i + per_bucket]
+                bars.append(sum(s.messages for s in chunk))
+            peak = max(bars) or 1
+            glyphs = " .:-=+*#%@"
+            line = "".join(
+                glyphs[min(len(glyphs) - 1, int(b / peak * (len(glyphs) - 1)))]
+                for b in bars
+            )
+            return (f"rounds 1..{len(self.samples)}  peak {peak} msgs/bucket\n"
+                    f"[{line[:width]}]")
+        if mode == "rows":
+            return self._timeline_rows(width=width, max_rows=max_rows)
+        raise ValueError(f"unknown timeline mode {mode!r}")
+
+    def _timeline_rows(self, *, width: int, max_rows: int) -> str:
+        """Bucketed per-round rows: ``rounds a-b  msgs N |#####``."""
+        count = len(self.samples)
+        per_bucket = max(1, math.ceil(count / max(1, max_rows)))
+        rows = []  # (first_round, last_round, messages)
+        for i in range(0, count, per_bucket):
             chunk = self.samples[i:i + per_bucket]
-            bars.append(sum(s.messages for s in chunk))
-        peak = max(bars) or 1
-        glyphs = " .:-=+*#%@"
-        line = "".join(glyphs[min(len(glyphs) - 1, int(b / peak * (len(glyphs) - 1)))]
-                       for b in bars)
-        return (f"rounds 1..{len(self.samples)}  peak {peak} msgs/bucket\n"
-                f"[{line[:width]}]")
+            rows.append((
+                chunk[0].round_index,
+                chunk[-1].round_index,
+                sum(s.messages for s in chunk),
+            ))
+        peak = max(r[2] for r in rows) or 1
+        bar_width = max(1, width - 24)
+        lines = [
+            f"rounds 1..{count}  ({per_bucket} round(s)/row, peak {peak} msgs)"
+        ]
+        for first, last, msgs in rows:
+            label = f"{first}" if first == last else f"{first}-{last}"
+            bar = "#" * max(0, round(msgs / peak * bar_width))
+            lines.append(f"  {label:>11}  {msgs:>7} |{bar}")
+        return "\n".join(lines)
 
 
 def attach_trace(net: Network) -> RoundTrace:

@@ -35,6 +35,7 @@ from ..graphs.validation import require_weighted_connected
 from ..graphs.virtual import VirtualGraphOracle
 from ..hopsets.construction import build_hopset
 from ..routing.artifacts import GraphRoutingScheme
+from ..telemetry import events as _tele
 from ..tz.clusters import compute_pivots
 from ..tz.hierarchy import Hierarchy, sample_hierarchy, virtual_level
 from .assembly import assemble_labels, assemble_tables, build_tree_schemes
@@ -65,6 +66,28 @@ class BuildReport:
     max_trees_per_vertex: int
     stretch_bound: float = 0.0
     phase_rounds: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready cost summary (telemetry RunRecords, bench twins)."""
+        return {
+            "n": self.n,
+            "k": self.k,
+            "epsilon": self.epsilon,
+            "beta": self.beta,
+            "hop_diameter_bound": self.hop_diameter_bound,
+            "virtual_size": self.virtual_size,
+            "hopset_size": self.hopset_size,
+            "rounds_sequential": self.rounds_sequential,
+            "rounds_parallel_estimate": self.rounds_parallel_estimate,
+            "messages": self.messages,
+            "max_memory_words": self.max_memory_words,
+            "mean_memory_words": round(self.mean_memory_words, 2),
+            "max_trees_per_vertex": self.max_trees_per_vertex,
+            "table_words": self.scheme.max_table_words(),
+            "label_words": self.scheme.max_label_words(),
+            "stretch_bound": self.stretch_bound,
+            "phase_rounds": dict(self.phase_rounds),
+        }
 
     def summary(self) -> str:
         return (
@@ -111,14 +134,16 @@ def build_distributed_scheme(
     n = graph.number_of_nodes()
     if net is None:
         net = Network(graph)
-    bfs = build_bfs_tree(net)
-    if hierarchy is None:
-        hierarchy = sample_hierarchy(list(graph.nodes), k, seed=seed)
-    pivots = compute_pivots(graph, hierarchy)
+    with _tele.span("build/bfs+hierarchy", n=n, k=k):
+        bfs = build_bfs_tree(net)
+        if hierarchy is None:
+            hierarchy = sample_hierarchy(list(graph.nodes), k, seed=seed)
+        pivots = compute_pivots(graph, hierarchy)
     boundary = virtual_level(k)  # ⌈k/2⌉
 
     # -- low levels ----------------------------------------------------------
-    low_trees = build_exact_low_level_clusters(net, hierarchy, pivots, boundary)
+    with _tele.span("build/low-levels", boundary=boundary):
+        low_trees = build_exact_low_level_clusters(net, hierarchy, pivots, boundary)
 
     # -- virtual graph + hopset ------------------------------------------------
     virtual_vertices = sorted(hierarchy.set_at(boundary), key=repr)
@@ -127,34 +152,38 @@ def build_distributed_scheme(
     hop_bound = int(
         min(n, math.ceil(4.0 * n ** (boundary / k) * max(1.0, math.log(n))))
     )
-    oracle = VirtualGraphOracle(graph, virtual_vertices, hop_bound)
-    hopset_build = build_hopset(net, oracle, kappa=kappa, seed=seed)
+    with _tele.span("build/hopset", kappa=kappa):
+        oracle = VirtualGraphOracle(graph, virtual_vertices, hop_bound)
+        hopset_build = build_hopset(net, oracle, kappa=kappa, seed=seed)
     if beta is None:
         beta = default_beta(oracle.m, kappa)
     config = HighLevelConfig(epsilon=epsilon, beta=beta)
 
     # -- high levels --------------------------------------------------------------
-    high_trees, approx_pivots = build_high_level_clusters(
-        net, oracle, hopset_build.hopset, hierarchy, config, boundary
-    )
+    with _tele.span("build/high-levels", beta=beta):
+        high_trees, approx_pivots = build_high_level_clusters(
+            net, oracle, hopset_build.hopset, hierarchy, config, boundary
+        )
 
     cluster_trees = dict(low_trees)
     cluster_trees.update(high_trees)
 
     # -- tree routing + assembly ----------------------------------------------------
-    schemes, stats = build_tree_schemes(net, bfs, cluster_trees, seed=seed)
-    tables = assemble_tables(net, schemes)
-    pivot_reference: Dict[int, Dict[NodeId, float]] = {
-        i: pivots.dist[i] for i in range(min(boundary + 1, k))
-    }
-    pivot_reference.update(approx_pivots)
-    slack = (1.0 + 6.0 * epsilon) * (1.0 + epsilon)
-    labels = assemble_labels(
-        net, hierarchy, cluster_trees, schemes, pivot_reference, slack=slack
-    )
-    scheme = GraphRoutingScheme(
-        k=k, tables=tables, labels=labels, tree_schemes=schemes
-    )
+    with _tele.span("build/tree-routing", trees=len(cluster_trees)):
+        schemes, stats = build_tree_schemes(net, bfs, cluster_trees, seed=seed)
+    with _tele.span("build/assembly"):
+        tables = assemble_tables(net, schemes)
+        pivot_reference: Dict[int, Dict[NodeId, float]] = {
+            i: pivots.dist[i] for i in range(min(boundary + 1, k))
+        }
+        pivot_reference.update(approx_pivots)
+        slack = (1.0 + 6.0 * epsilon) * (1.0 + epsilon)
+        labels = assemble_labels(
+            net, hierarchy, cluster_trees, schemes, pivot_reference, slack=slack
+        )
+        scheme = GraphRoutingScheme(
+            k=k, tables=tables, labels=labels, tree_schemes=schemes
+        )
 
     # -- cost reporting ---------------------------------------------------------------
     s = max(1, stats.max_trees_per_vertex)
@@ -164,6 +193,8 @@ def build_distributed_scheme(
         rounds_sequential - stats.tree_rounds_total + stats.tree_rounds_max + offsets
     )
     high_water = net.memory_high_water()
+    if _tele._collectors:
+        _tele.gauge("memory.high_water_words", max(high_water.values()))
     return BuildReport(
         scheme=scheme,
         k=k,

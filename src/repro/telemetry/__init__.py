@@ -1,0 +1,55 @@
+"""Unified telemetry (S11): spans, counters, RunRecords, bound checking.
+
+The observability layer every execution funnels through:
+
+* :mod:`~repro.telemetry.events` -- the zero-cost-when-disabled event bus
+  (:func:`span`, :func:`emit`, :func:`gauge`, :func:`collect`);
+* :mod:`~repro.telemetry.collector` -- the default
+  :class:`TelemetryCollector` building a span tree with per-span round
+  attribution and a ``profile()`` renderer;
+* :mod:`~repro.telemetry.runrecord` -- the :class:`RunRecord` manifest
+  (provenance + measurements + verdicts, JSON/JSONL round-trip);
+* :mod:`~repro.telemetry.bounds` -- the paper-bound checker evaluating
+  Theorems 2/3 closed forms against measured columns.
+
+See docs/observability.md for the span/counter naming scheme and the
+RunRecord JSON schema.
+"""
+
+from .bounds import (
+    BoundVerdict,
+    all_passed,
+    check_graph_columns,
+    check_table1_relations,
+    check_table2_relations,
+    check_tree_columns,
+    failures,
+    verdict_from_dict,
+)
+from .collector import SpanNode, TelemetryCollector, render_profile
+from .events import attach, collect, detach, emit, enabled, gauge, span
+from .runrecord import RunRecord, make_run_record, peak_rss_kb
+
+__all__ = [
+    "BoundVerdict",
+    "RunRecord",
+    "SpanNode",
+    "TelemetryCollector",
+    "all_passed",
+    "attach",
+    "check_graph_columns",
+    "check_table1_relations",
+    "check_table2_relations",
+    "check_tree_columns",
+    "collect",
+    "detach",
+    "emit",
+    "enabled",
+    "failures",
+    "gauge",
+    "make_run_record",
+    "peak_rss_kb",
+    "render_profile",
+    "span",
+    "verdict_from_dict",
+]

@@ -1,0 +1,138 @@
+"""The telemetry event bus: spans, counters, and gauges.
+
+Every execution path in the repo funnels its observability through this
+module.  Instrumented sites (``repro.congest.network``, the tree-routing
+stages, ``repro.core.build``) call :func:`span` / :func:`emit` /
+:func:`gauge` unconditionally; when no collector is attached the calls
+reduce to one truthiness check on the module-level ``_collectors`` list
+(spans additionally return a shared no-op context manager), so round
+counts, memory accounting, and wall-clock are unchanged for untraced runs.
+
+Attach a collector with :func:`collect`::
+
+    from repro.telemetry import collect
+
+    with collect() as tele:
+        build_distributed_tree_scheme(net, tree)
+    print(tele.profile())          # span tree: wall-clock + round breakdown
+
+Span names are slash-paths (``tree/stage2``, ``build/hopset``); counters
+use dotted names (``congest.rounds``).  Counter events are attributed to
+the innermost open span *and* to the collector's global totals, so a span
+tree doubles as a simulated-round breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List
+
+#: Attached collectors.  Empty list == telemetry disabled; hot paths test
+#: this directly (``if _collectors:``) to keep the disabled cost at one
+#: attribute load + truthiness check.
+_collectors: List[Any] = []
+
+
+def enabled() -> bool:
+    """True when at least one collector is attached."""
+    return bool(_collectors)
+
+
+def attach(collector: Any) -> Any:
+    """Attach ``collector`` to the bus; returns it for chaining."""
+    _collectors.append(collector)
+    return collector
+
+
+def detach(collector: Any) -> None:
+    """Detach a previously attached collector (no error if absent)."""
+    try:
+        _collectors.remove(collector)
+    except ValueError:
+        pass
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: notifies every collector on enter/exit."""
+
+    __slots__ = ("name", "attrs")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self):
+        now = time.perf_counter()
+        for c in _collectors:
+            c.on_span_start(self.name, self.attrs, now)
+        return self
+
+    def __exit__(self, *exc):
+        now = time.perf_counter()
+        for c in _collectors:
+            c.on_span_end(self.name, now)
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """Context manager marking a named stage of an execution.
+
+    Zero-cost when disabled: returns a shared no-op context manager.
+    """
+    if not _collectors:
+        return _NULL_SPAN
+    return _Span(name, attrs)
+
+
+def emit(name: str, value: float = 1, **attrs: Any) -> None:
+    """Increment counter ``name`` by ``value`` (no-op when disabled)."""
+    if not _collectors:
+        return
+    for c in _collectors:
+        c.on_counter(name, value, attrs)
+
+
+def gauge(name: str, value: float, **attrs: Any) -> None:
+    """Record a level measurement; collectors keep the maximum seen."""
+    if not _collectors:
+        return
+    for c in _collectors:
+        c.on_gauge(name, value, attrs)
+
+
+class collect:
+    """``with collect() as tele:`` — attach a collector for the block.
+
+    A specific collector may be passed in; by default a fresh
+    :class:`~repro.telemetry.collector.TelemetryCollector` is created.
+    """
+
+    def __init__(self, collector: Any = None):
+        if collector is None:
+            from .collector import TelemetryCollector
+
+            collector = TelemetryCollector()
+        self.collector = collector
+
+    def __enter__(self):
+        attach(self.collector)
+        return self.collector
+
+    def __exit__(self, *exc):
+        detach(self.collector)
+        return False

@@ -1,0 +1,163 @@
+"""The :class:`RunRecord` manifest: one machine-readable record per run.
+
+A RunRecord captures everything Tables 1-2 measure plus provenance —
+workload (generator, params, seed, scheme, k/ε), wall-clock per span,
+simulated/charged round counters, peak RSS, package version — and the
+paper-bound verdicts from :mod:`repro.telemetry.bounds`.  It serializes to
+a single JSON object (``to_json``) or appends as one line of JSONL next to
+a result file (``append_jsonl``), and round-trips via ``from_dict`` so the
+perf trajectory can be diffed across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .bounds import BoundVerdict
+from .collector import TelemetryCollector
+
+SCHEMA_VERSION = 1
+
+
+def peak_rss_kb() -> Optional[int]:
+    """Peak resident set size of this process in KiB (None if unknown)."""
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:
+        return None
+
+
+def _package_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+@dataclass
+class RunRecord:
+    """Provenance + measurements + verdicts for one execution."""
+
+    kind: str  # "table1" | "table2" | "fig/<name>" | "demo" | ...
+    workload: Dict[str, Any] = field(default_factory=dict)
+    columns: List[Dict[str, Any]] = field(default_factory=list)
+    verdicts: List[BoundVerdict] = field(default_factory=list)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    wall_s: float = 0.0
+    peak_rss_kb: Optional[int] = None
+    package_version: str = ""
+    created_unix: float = 0.0
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.package_version:
+            self.package_version = _package_version()
+        if not self.created_unix:
+            self.created_unix = time.time()
+        if self.peak_rss_kb is None:
+            self.peak_rss_kb = peak_rss_kb()
+
+    # -- verdicts ------------------------------------------------------------
+
+    @property
+    def passed(self) -> bool:
+        """True when every attached bound verdict passed."""
+        return all(v.passed for v in self.verdicts)
+
+    def failed_verdicts(self) -> List[BoundVerdict]:
+        return [v for v in self.verdicts if not v.passed]
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "created_unix": round(self.created_unix, 3),
+            "package_version": self.package_version,
+            "workload": _jsonable(self.workload),
+            "columns": _jsonable(self.columns),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+            "passed": self.passed,
+            "spans": self.spans,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "wall_s": round(self.wall_s, 4),
+            "peak_rss_kb": self.peak_rss_kb,
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RunRecord":
+        from .bounds import verdict_from_dict
+
+        return cls(
+            kind=d["kind"],
+            workload=dict(d.get("workload", {})),
+            columns=list(d.get("columns", [])),
+            verdicts=[verdict_from_dict(v) for v in d.get("verdicts", [])],
+            spans=list(d.get("spans", [])),
+            counters=dict(d.get("counters", {})),
+            gauges=dict(d.get("gauges", {})),
+            wall_s=float(d.get("wall_s", 0.0)),
+            peak_rss_kb=d.get("peak_rss_kb"),
+            package_version=d.get("package_version", ""),
+            created_unix=float(d.get("created_unix", 0.0)),
+            schema_version=int(d.get("schema_version", SCHEMA_VERSION)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        return cls.from_dict(json.loads(text))
+
+    def append_jsonl(self, path: Union[str, Path]) -> Path:
+        """Append this record as one JSONL line next to a result file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as fh:
+            fh.write(self.to_json(indent=None) + "\n")
+        return path
+
+
+def make_run_record(
+    kind: str,
+    *,
+    workload: Dict[str, Any],
+    columns: List[Dict[str, Any]],
+    verdicts: Optional[List[BoundVerdict]] = None,
+    collector: Optional[TelemetryCollector] = None,
+    wall_s: float = 0.0,
+) -> RunRecord:
+    """Assemble a RunRecord from measurements plus an optional collector."""
+    record = RunRecord(
+        kind=kind,
+        workload=workload,
+        columns=columns,
+        verdicts=list(verdicts or []),
+        wall_s=wall_s,
+    )
+    if collector is not None:
+        record.spans = collector.span_dicts()
+        record.counters = dict(collector.counters)
+        record.gauges = dict(collector.gauges)
+    return record
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to JSON-serializable structures."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -30,6 +30,7 @@ from ..congest.bfs import BfsTree, build_bfs_tree
 from ..congest.network import Network
 from ..errors import InputError
 from ..routing.artifacts import TreeRoutingScheme
+from ..telemetry import events as _tele
 from .sampling import default_sampling_probability
 from .scheme import build_distributed_tree_scheme
 
@@ -96,16 +97,17 @@ def build_many_tree_schemes(
     rounds_before = net.metrics.total_rounds
     for tree_id in sorted(trees, key=repr):
         offsets[tree_id] = rng.randint(1, window)
-        build = build_distributed_tree_scheme(
-            net,
-            trees[tree_id],
-            q=q,
-            seed=seed,
-            salt=f"multi/{tree_id!r}",
-            bfs=bfs,
-            tree_id=tree_id,
-            mem_prefix=f"mt/{tree_id!r}",
-        )
+        with _tele.span("tree/build", tree=tree_id):
+            build = build_distributed_tree_scheme(
+                net,
+                trees[tree_id],
+                q=q,
+                seed=seed,
+                salt=f"multi/{tree_id!r}",
+                bfs=bfs,
+                tree_id=tree_id,
+                mem_prefix=f"mt/{tree_id!r}",
+            )
         schemes[tree_id] = build.scheme
         per_tree_rounds[tree_id] = build.rounds
     return MultiTreeBuild(

@@ -22,6 +22,7 @@ from typing import Callable, Dict, Hashable, Mapping, Optional
 from ..congest.bfs import BfsTree, build_bfs_tree
 from ..congest.network import Network
 from ..graphs.validation import require_tree_in_graph
+from ..telemetry import events as _tele
 from ..routing.artifacts import TreeLabel, TreeRoutingScheme, TreeTable
 from .sampling import TreePartition, partition_tree
 from .stage0_partition import run_stage0
@@ -71,36 +72,46 @@ def build_distributed_tree_scheme(
     rounds_before = net.metrics.total_rounds
     messages_before = net.metrics.messages
 
-    part = partition_tree(tree_parent, q=q, seed=seed, salt=salt)
-    if bfs is None:
-        bfs = build_bfs_tree(net)
-    info = run_stage0(net, part, mem_prefix=mem_prefix)
-    size_info = run_stage1(net, bfs, part, info, mem_prefix=mem_prefix)
-    light_info = run_stage2(net, bfs, part, info, size_info, mem_prefix=mem_prefix)
-    dfs_info = run_stage3(net, bfs, part, info, size_info, mem_prefix=mem_prefix)
+    with _tele.span("tree/partition", n=net.n):
+        part = partition_tree(tree_parent, q=q, seed=seed, salt=salt)
+        if bfs is None:
+            bfs = build_bfs_tree(net)
+    with _tele.span("tree/stage0"):
+        info = run_stage0(net, part, mem_prefix=mem_prefix)
+    with _tele.span("tree/stage1"):
+        size_info = run_stage1(net, bfs, part, info, mem_prefix=mem_prefix)
+    with _tele.span("tree/stage2"):
+        light_info = run_stage2(net, bfs, part, info, size_info,
+                                mem_prefix=mem_prefix)
+    with _tele.span("tree/stage3"):
+        dfs_info = run_stage3(net, bfs, part, info, size_info,
+                              mem_prefix=mem_prefix)
 
-    tables: Dict[NodeId, TreeTable] = {}
-    labels: Dict[NodeId, TreeLabel] = {}
-    for v in tree_parent:
-        enter, exit_ = dfs_info.intervals[v]
-        tables[v] = TreeTable(
-            enter=enter,
-            exit_=exit_,
-            parent=tree_parent[v],
-            heavy=size_info.heavy[v],
-            root_distance=root_distance(v) if root_distance is not None else None,
+    with _tele.span("tree/assemble"):
+        tables: Dict[NodeId, TreeTable] = {}
+        labels: Dict[NodeId, TreeLabel] = {}
+        for v in tree_parent:
+            enter, exit_ = dfs_info.intervals[v]
+            tables[v] = TreeTable(
+                enter=enter,
+                exit_=exit_,
+                parent=tree_parent[v],
+                heavy=size_info.heavy[v],
+                root_distance=root_distance(v) if root_distance is not None else None,
+            )
+            labels[v] = TreeLabel(enter=enter, light_edges=light_info.light_edges[v])
+            meter = net.mem(v)
+            meter.store(f"{mem_prefix}/table", tables[v].word_size())
+            meter.store(f"{mem_prefix}/label", labels[v].word_size())
+
+        scheme = TreeRoutingScheme(
+            tree_id=tree_id if tree_id is not None else part.root,
+            root=part.root,
+            tables=tables,
+            labels=labels,
         )
-        labels[v] = TreeLabel(enter=enter, light_edges=light_info.light_edges[v])
-        meter = net.mem(v)
-        meter.store(f"{mem_prefix}/table", tables[v].word_size())
-        meter.store(f"{mem_prefix}/label", labels[v].word_size())
-
-    scheme = TreeRoutingScheme(
-        tree_id=tree_id if tree_id is not None else part.root,
-        root=part.root,
-        tables=tables,
-        labels=labels,
-    )
+    if _tele._collectors:  # max_memory() is O(n); skip entirely when untraced
+        _tele.gauge("memory.high_water_words", net.max_memory())
     return DistributedTreeBuild(
         scheme=scheme,
         partition=part,

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import FIGURES, build_parser, main
@@ -35,3 +37,71 @@ class TestExecution:
     def test_demo_runs(self, capsys):
         assert main(["demo"]) == 0
         assert "exact" in capsys.readouterr().out
+
+
+class TestTelemetrySurfaces:
+    def test_table2_json_emits_run_record(self, capsys):
+        assert main(["table2", "--n", "150", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["kind"] == "table2"
+        assert record["workload"]["n"] == 150
+        assert record["passed"] is True
+        columns = {v["column"] for v in record["verdicts"]}
+        assert {"rounds", "table_words", "label_words",
+                "memory_words"} <= columns
+        # Measured columns round-trip through JSON.
+        schemes = [row["scheme"] for row in record["columns"]]
+        assert "this-paper" in schemes
+
+    def test_table2_strict_passes_on_good_run(self, capsys):
+        assert main(["table2", "--n", "150", "--strict", "--quiet"]) == 0
+
+    def test_quiet_suppresses_stdout(self, capsys):
+        assert main(["demo", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_out_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "nested" / "t2.json"
+        code = main(["table2", "--n", "150", "--json", "--quiet",
+                     "--out", str(target)])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        record = json.loads(target.read_text())
+        assert record["kind"] == "table2"
+
+    def test_trace_jsonl(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        code = main(["trace", "tree-rounds", "--jsonl", "--quiet",
+                     "--out", str(target)])
+        assert code == 0
+        lines = target.read_text().strip().splitlines()
+        manifest = json.loads(lines[0])
+        assert manifest["kind"] == "fig/tree-rounds"
+        assert manifest["counters"]["congest.rounds"] > 0
+        # One JSONL line per sweep row after the manifest.
+        assert len(lines) == 1 + len(manifest["columns"])
+        assert json.loads(lines[1])["n"] == manifest["columns"][0]["n"]
+
+    def test_demo_profile_prints_span_tree(self, capsys):
+        assert main(["demo", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "tree/stage1" in out and "wall_s" in out
+
+    def test_table2_profile(self, capsys):
+        assert main(["table2", "--n", "150", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "this-paper" in out  # rendered table still present
+        assert "congest/bfs" in out  # plus the span tree
+
+    def test_report_json(self, capsys):
+        assert main(["report", "--fast", "--json", "--strict"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "report"
+        assert doc["passed"] is True
+        assert doc["table2"]["kind"] == "table2"
+        assert doc["table1"]["kind"] == "table1"
+        assert all(v["passed"] for v in doc["table2"]["verdicts"])
+        assert set(doc["figures"]) == {
+            "tree_rounds", "tree_memory", "stretch", "tree_styles"
+        }
+        assert doc["figures"]["tree_rounds"][0]["n"] == 150

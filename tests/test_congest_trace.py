@@ -59,6 +59,90 @@ class TestAttachTrace:
     def test_empty_timeline(self, net):
         trace = attach_trace(net)
         assert "no simulated rounds" in trace.timeline()
+        assert "no simulated rounds" in trace.timeline(mode="rows")
+
+    def test_charge_attribution_across_phases(self, net):
+        """Each charge event lands in the phase open at charge time."""
+        trace = attach_trace(net)
+        net.begin_phase("alpha")
+        net.charge_rounds(3)
+        net.end_phase()
+        net.charge_rounds(5)  # outside any phase
+        net.begin_phase("beta")
+        net.charge_rounds(7)
+        net.end_phase()
+        assert [(c.phase, c.rounds) for c in trace.charges] == [
+            ("alpha", 3), (None, 5), ("beta", 7),
+        ]
+        assert trace.charged_total() == 15
+        assert net.metrics.charged_rounds == 15
+
+    def test_charge_records_current_round_index(self, net):
+        trace = attach_trace(net)
+        net.idle_rounds(4)
+        net.charge_rounds(2)
+        assert trace.charges[0].at_round == 4
+
+
+class TestTimelineModes:
+    def _trace_with(self, rounds):
+        from repro.congest.trace import RoundSample, RoundTrace
+
+        trace = RoundTrace()
+        for i in range(rounds):
+            trace.samples.append(RoundSample(
+                round_index=i + 1, messages=(i % 7) + 1, words=i, phase=None,
+            ))
+        return trace
+
+    def test_rows_mode_one_line_per_round_when_short(self):
+        trace = self._trace_with(10)
+        art = trace.timeline(mode="rows", max_rows=40)
+        lines = art.splitlines()
+        assert len(lines) == 11  # header + one row per round
+        assert "1 round(s)/row" in lines[0]
+
+    def test_rows_mode_buckets_long_traces(self):
+        """A >10k-round trace renders width-capped, not one line/round."""
+        trace = self._trace_with(12_000)
+        art = trace.timeline(mode="rows", max_rows=40)
+        lines = art.splitlines()
+        assert len(lines) <= 41
+        assert "300 round(s)/row" in lines[0]
+        assert "1-300" in lines[1]
+
+    def test_rows_mode_bars_capped_at_width(self):
+        trace = self._trace_with(5000)
+        art = trace.timeline(width=50, mode="rows", max_rows=25)
+        assert max(len(line) for line in art.splitlines()) <= 50 + 24
+
+    def test_rows_message_totals_preserved(self):
+        trace = self._trace_with(1000)
+        art = trace.timeline(mode="rows", max_rows=10)
+        shown = sum(
+            int(line.split("|")[0].split()[-1])
+            for line in art.splitlines()[1:]
+        )
+        assert shown == trace.total_messages()
+
+    def test_sparkline_mode_unchanged(self):
+        trace = self._trace_with(500)
+        art = trace.timeline(mode="sparkline")
+        assert art.startswith("rounds 1..500")
+        assert len(art.splitlines()) == 2
+
+    def test_unknown_mode_raises(self):
+        trace = self._trace_with(5)
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            trace.timeline(mode="bogus")
+
+    def test_to_dict_round_trips_counts(self):
+        trace = self._trace_with(25)
+        d = trace.to_dict()
+        assert len(d["samples"]) == 25
+        assert d["samples"][0]["round_index"] == 1
 
     def test_full_tree_build_traceable(self):
         graph = random_connected_graph(120, seed=252)
