@@ -5,9 +5,14 @@ Every bench prints its measured table/figure (so ``pytest benchmarks/
 writes it under ``benchmarks/results/`` for later inspection.
 
 Benches that pass structured ``data`` additionally get the machine-readable
-twin of the ``.txt`` block (``benchmarks/results/<name>.json``) and a
-``BENCH_<name>.json`` at the repo root — the perf-trajectory files that
-accumulate across PRs (docs/observability.md).
+twin of the ``.txt`` block (``benchmarks/results/<name>.json``) and an
+**appended** entry in the repo-root ``BENCH_<name>.json`` trajectory — the
+perf history that accumulates across PRs (docs/observability.md).  Appends
+are idempotent: re-running a bench at the same git SHA replaces that SHA's
+entry instead of duplicating it.  After appending, the entry is compared
+against the trajectory baseline (:mod:`repro.telemetry.regress`) and the
+verdict printed; ``LAST_REPORTS`` collects the reports so drivers such as
+``run_all.py`` can gate on them.
 """
 
 from __future__ import annotations
@@ -15,10 +20,14 @@ from __future__ import annotations
 import json
 import pathlib
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Regression reports produced by :func:`emit` this process, in order.
+#: ``run_all.py`` reads this to decide its exit code.
+LAST_REPORTS: List[Any] = []
 
 
 def emit(
@@ -33,26 +42,49 @@ def emit(
     ``text`` goes to ``results/<name>.txt`` verbatim.  When ``data`` is
     given (records/rows of the same result), a JSON payload with
     provenance — name, timestamp, package version, optional ``meta``
-    (workload params, verdicts) — is written both as the result's JSON
-    twin and as the repo-root ``BENCH_<name>.json`` trajectory file.
+    (workload params, verdicts) — is written as the result's JSON twin,
+    appended to the repo-root ``BENCH_<name>.json`` trajectory, and
+    checked against the trajectory baseline for regressions.
     """
     banner = f"\n===== {name} =====\n"
     print(banner + text)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-    if data is not None:
-        from repro import __version__
+    if data is None:
+        return
 
-        payload = {
-            "name": name,
-            "created_unix": round(time.time(), 3),
-            "package_version": __version__,
-            "meta": meta or {},
-            "data": data,
-        }
-        blob = json.dumps(payload, indent=2, default=repr) + "\n"
-        (RESULTS_DIR / f"{name}.json").write_text(blob)
-        (REPO_ROOT / f"BENCH_{name}.json").write_text(blob)
+    from repro import __version__
+    from repro.telemetry import trajectory as traj
+    from repro.telemetry.regress import Tolerances, compare_payload
+
+    entry = traj.make_entry(
+        name, data, meta or {},
+        sha=traj.git_sha(REPO_ROOT),
+        package_version=__version__,
+    )
+    payload = {
+        "name": name,
+        "created_unix": round(time.time(), 3),
+        "package_version": __version__,
+        "meta": meta or {},
+        "data": data,
+        "run_id": entry["run_id"],
+        "git_sha": entry["git_sha"],
+        "workload_sig": entry["workload_sig"],
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, default=repr) + "\n"
+    )
+
+    bench_path = REPO_ROOT / f"BENCH_{name}.json"
+    history = traj.load_trajectory(bench_path)
+    baseline = traj.baseline_entry(history, entry)
+    traj.append_entry(bench_path, entry)
+
+    report = compare_payload(entry, baseline, Tolerances())
+    report.name = name
+    LAST_REPORTS.append(report)
+    print(report.render())
 
 
 def once(benchmark, fn):

@@ -1,0 +1,138 @@
+"""Run every benchmark without pytest: ``python benchmarks/run_all.py``.
+
+Discovers each ``bench_*.py`` module's ``bench_*`` entry point, drives it
+with a stub of the pytest-benchmark fixture (the benches only use
+``benchmark.pedantic``), and lets ``_util.emit`` handle persistence:
+``results/<name>.{txt,json}``, the appended ``BENCH_<name>.json``
+trajectory entry, and the inline regression verdict.
+
+Flags::
+
+    --quick          only the fast smoke subset (full workloads, fewer
+                     benches) -- what CI's bench-smoke job runs
+    --only NAME      run just these benches (repeatable); name with or
+                     without the ``bench_`` prefix
+    --regress MODE   warn (default) | enforce | off -- enforce exits 1
+                     when any hard metric regressed vs the trajectory
+
+``--quick`` keeps the *workloads* untouched (it only skips slow benches),
+so quick-run entries stay comparable with full-run entries of the same
+bench -- the workload signature guards the regression gate either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import pathlib
+import sys
+import time
+from typing import List
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(BENCH_DIR))
+sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+
+import _util  # noqa: E402
+
+#: Fast benches (sub-second each at full workload) for CI smoke runs.
+QUICK = (
+    "bench_fig_tree_rounds",
+    "bench_table2",
+)
+
+
+class _StubBenchmark:
+    """Minimal stand-in for the pytest-benchmark fixture.
+
+    The benches call only ``benchmark.pedantic(fn, rounds=1,
+    iterations=1)`` (via ``_util.once``); anything else raises so a new
+    usage pattern is caught immediately.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed_s = 0.0
+
+    def pedantic(self, fn, *, rounds=1, iterations=1, **kwargs):
+        result = None
+        started = time.perf_counter()
+        for _ in range(rounds * iterations):
+            result = fn()
+        self.elapsed_s = time.perf_counter() - started
+        return result
+
+    def __call__(self, fn, *args, **kwargs):  # pragma: no cover
+        return self.pedantic(lambda: fn(*args, **kwargs))
+
+
+def discover() -> List[str]:
+    return sorted(p.stem for p in BENCH_DIR.glob("bench_*.py"))
+
+
+def run_bench(module_name: str) -> float:
+    """Import one bench module and run its entry function; wall seconds."""
+    module = importlib.import_module(module_name)
+    entry = getattr(module, module_name)
+    stub = _StubBenchmark()
+    started = time.perf_counter()
+    entry(stub)
+    return time.perf_counter() - started
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="run_all", description="Run the benchmark suite standalone."
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="fast smoke subset only (what CI runs)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="NAME", help="run just these benches")
+    parser.add_argument("--regress", choices=("warn", "enforce", "off"),
+                        default="warn",
+                        help="regression gate mode (default warn)")
+    parser.add_argument("--list", action="store_true",
+                        help="list discovered benches and exit")
+    args = parser.parse_args(argv)
+
+    names = discover()
+    if args.list:
+        for name in names:
+            tag = " [quick]" if name in QUICK else ""
+            print(name + tag)
+        return 0
+    if args.quick:
+        names = [n for n in names if n in QUICK]
+    if args.only:
+        wanted = {n if n.startswith("bench_") else f"bench_{n}"
+                  for n in args.only}
+        unknown = wanted - set(names)
+        if unknown:
+            print(f"unknown bench(es): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        names = [n for n in names if n in wanted]
+
+    timings = []
+    for name in names:
+        print(f"--- {name} ---")
+        timings.append((name, run_bench(name)))
+
+    print("\n===== run_all summary =====")
+    for name, seconds in timings:
+        print(f"  {name:<32} {seconds:8.2f}s")
+
+    if args.regress != "off" and _util.LAST_REPORTS:
+        failed = [r.name for r in _util.LAST_REPORTS if not r.passed]
+        warned = [r.name for r in _util.LAST_REPORTS if r.status == "warn"]
+        print(f"regression gate ({args.regress}): "
+              f"{len(_util.LAST_REPORTS)} bench(es), "
+              f"{len(failed)} fail, {len(warned)} warn")
+        if failed and args.regress == "enforce":
+            print(f"perf regression in: {', '.join(failed)}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,7 +51,14 @@ from .analysis import (
     run_table2,
     run_table2_recorded,
 )
-from .telemetry import collect, make_run_record, render_profile
+from .telemetry import (
+    build_dashboard,
+    collect,
+    make_run_record,
+    render_profile,
+    write_chrome_trace,
+)
+from .telemetry import flight as _flight
 
 FIGURES = {
     "tree-rounds": (fig_tree_rounds, "F1: tree-routing rounds vs n"),
@@ -64,6 +71,22 @@ FIGURES = {
     "multitree": (fig_multitree, "F8: multi-tree parallel construction"),
     "tree-styles": (fig_tree_styles, "F9: tree-shape insensitivity"),
 }
+
+#: Benchmark-file names accepted as figure aliases (``fig1_tree_rounds``
+#: is the name the BENCH_*.json trajectory uses for ``tree-rounds``).
+FIGURE_ALIASES = {
+    "fig1_tree_rounds": "tree-rounds",
+    "fig2_tree_memory": "tree-memory",
+    "fig3_tree_sizes": "tree-sizes",
+    "fig4_stretch": "stretch",
+    "fig5_sizes_vs_k": "sizes-vs-k",
+    "fig6_hopset": "hopset",
+    "fig7_graph_rounds": "graph-rounds",
+    "fig8_multitree": "multitree",
+    "fig9_tree_styles": "tree-styles",
+}
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -102,8 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
     t2.add_argument("--strict", action="store_true",
                     help="exit 1 if any paper-bound verdict fails")
 
+    fig_names = sorted(FIGURES) + sorted(FIGURE_ALIASES)
+
     fig = sub.add_parser("fig", parents=[common], help="run one figure sweep")
-    fig.add_argument("name", choices=sorted(FIGURES))
+    fig.add_argument("name", choices=fig_names)
     fig.add_argument("--json", action="store_true",
                      help="emit the sweep records as JSON")
 
@@ -111,13 +136,38 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", parents=[common],
         help="run one figure sweep under telemetry, emit structured records",
     )
-    trace.add_argument("name", choices=sorted(FIGURES))
+    trace.add_argument("name", choices=fig_names)
     trace.add_argument("--jsonl", action="store_true",
                        help="one JSON object per line: RunRecord manifest "
                             "first, then each sweep row")
+    trace.add_argument("--chrome", type=str, default=None, metavar="PATH",
+                       help="also write a Chrome trace_event JSON "
+                            "(open in Perfetto / chrome://tracing)")
+    trace.add_argument("--flight", action="store_true",
+                       help="attach a flight recorder to every network "
+                            "built (round-resolved memory/congestion)")
+    trace.add_argument("--stride", type=int, default=16,
+                       help="flight-recorder sampling stride in rounds "
+                            "(with --flight; default 16)")
 
     sub.add_parser("demo", parents=[common],
                    help="tiny end-to-end demonstration")
+
+    dash = sub.add_parser(
+        "dashboard",
+        help="render the static HTML perf dashboard from BENCH_*.json",
+    )
+    dash.add_argument("--out", type=str, default="dashboard.html",
+                      metavar="PATH", help="output HTML file")
+    dash.add_argument("--root", type=str, default=None,
+                      help="directory holding the BENCH_*.json trajectories "
+                           "(default: the repo root)")
+    dash.add_argument("--record", action="append", default=[],
+                      metavar="PATH",
+                      help="RunRecord JSON file to include (repeatable)")
+    dash.add_argument("--title", default="repro perf dashboard")
+    dash.add_argument("--quiet", action="store_true",
+                      help="suppress stdout")
 
     rep = sub.add_parser("report", parents=[common],
                          help="full markdown reproduction report")
@@ -199,7 +249,7 @@ def _run_table(args: argparse.Namespace) -> int:
 
 
 def _run_fig(args: argparse.Namespace) -> int:
-    fn, title = FIGURES[args.name]
+    fn, title = FIGURES[FIGURE_ALIASES.get(args.name, args.name)]
     if args.profile:
         with collect() as tele:
             records = fn()
@@ -215,17 +265,32 @@ def _run_fig(args: argparse.Namespace) -> int:
 
 
 def _run_trace(args: argparse.Namespace) -> int:
-    fn, title = FIGURES[args.name]
+    name = FIGURE_ALIASES.get(args.name, args.name)
+    fn, title = FIGURES[name]
     started = time.perf_counter()
-    with collect() as tele:
-        records = fn()
+    flight_dicts = []
+    if args.flight:
+        with _flight.auto(stride=args.stride), collect() as tele:
+            session = _flight._SESSIONS[-1]
+            records = fn()
+        flight_dicts = session.to_dicts()
+    else:
+        with collect() as tele:
+            records = fn()
     record = make_run_record(
-        f"fig/{args.name}",
-        workload={"figure": args.name, "title": title},
+        f"fig/{name}",
+        workload={"figure": name, "title": title},
         columns=records,
         collector=tele,
+        flight=flight_dicts,
         wall_s=time.perf_counter() - started,
     )
+    if args.chrome:
+        write_chrome_trace(
+            args.chrome, record.spans,
+            flight=record.flight or None,
+            meta={"kind": record.kind, "title": title},
+        )
     if args.jsonl:
         lines = [record.to_json(indent=None)]
         lines += [json.dumps(r, default=repr) for r in records]
@@ -235,6 +300,8 @@ def _run_trace(args: argparse.Namespace) -> int:
     parts = [body]
     if args.profile:
         parts.append(tele.profile())
+    if args.chrome:
+        parts.append(f"chrome trace written to {args.chrome}")
     _deliver("\n\n".join(parts), args)
     return 0
 
@@ -247,6 +314,16 @@ def main(argv=None) -> int:
         return _run_fig(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "dashboard":
+        root = Path(args.root) if args.root else _REPO_ROOT
+        out = build_dashboard(
+            root, args.out,
+            record_paths=[Path(p) for p in args.record],
+            title=args.title,
+        )
+        if not args.quiet:
+            print(f"dashboard written to {out}")
+        return 0
     if args.command == "demo":
         if args.profile:
             with collect() as tele:

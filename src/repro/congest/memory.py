@@ -21,7 +21,7 @@ Conventions used across the library:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..errors import MemoryAccountingError
 
@@ -88,6 +88,28 @@ class MemoryMeter:
         return self._current - sum(
             words for key, words in self._items.items() if key.startswith(prefix)
         )
+
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, int]:
+        """Breakdown of the *current* footprint by key prefix.
+
+        With no ``prefix``, keys are grouped by their first slash segment
+        (``"tree/ancestors"`` counts under ``"tree/"``; a key without a
+        slash groups under itself), so the result maps protocol stage to
+        retained words — what the flight recorder samples per round.  With
+        a ``prefix``, the exact keys under it are returned instead
+        (``snapshot("tree/")`` -> ``{"tree/ancestors": 3, ...}``).
+        """
+        out: Dict[str, int] = {}
+        if prefix is None:
+            for key, words in self._items.items():
+                head, sep, _ = key.partition("/")
+                group = head + "/" if sep else head
+                out[group] = out.get(group, 0) + words
+        else:
+            for key, words in self._items.items():
+                if key.startswith(prefix):
+                    out[key] = words
+        return out
 
     def items(self) -> Iterable[Tuple[str, int]]:
         return self._items.items()

@@ -61,6 +61,11 @@ class RunMetrics:
         """Simulated plus analytically charged rounds."""
         return self.rounds + self.charged_rounds
 
+    @property
+    def phase_name(self) -> Optional[str]:
+        """Name of the currently open phase (None outside any phase)."""
+        return self._open.name if self._open is not None else None
+
     # -- phase attribution ---------------------------------------------------
 
     def begin_phase(self, name: str) -> None:

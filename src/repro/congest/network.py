@@ -43,6 +43,7 @@ import networkx as nx
 
 from ..errors import CongestModelViolation, InputError
 from ..telemetry import events as _tele
+from ..telemetry import flight as _flight
 from .memory import MemoryMeter
 from .message import Message
 from .metrics import RunMetrics
@@ -77,6 +78,12 @@ class Network:
         self._meters: Dict[NodeId, MemoryMeter] = {v: MemoryMeter() for v in graph}
         self._outbox: List[Message] = []
         self._edge_load: Dict[Tuple[NodeId, NodeId], int] = defaultdict(int)
+        #: Round observers (flight recorders, round traces).  Empty list ==
+        #: observation disabled; ``tick``/``charge_rounds`` test truthiness
+        #: only, the same zero-overhead guard as the telemetry event bus.
+        self._round_observers: List[Any] = []
+        if _flight._SESSIONS:
+            _flight._SESSIONS[-1].attach(self)
 
     # -- topology ------------------------------------------------------------
 
@@ -133,6 +140,27 @@ class Network:
         for meter in self._meters.values():
             meter.free(key)
 
+    # -- observation -----------------------------------------------------------
+
+    def add_round_observer(self, observer: Any) -> Any:
+        """Register an observer notified on every ``tick``/``charge_rounds``.
+
+        Observers implement ``on_round(net, delivered, words)`` (called
+        inside :meth:`tick` after the round counter advanced, with the
+        delivered messages still in hand) and
+        ``on_charge(net, rounds, messages, words)``.  Returns the observer
+        for chaining.
+        """
+        self._round_observers.append(observer)
+        return observer
+
+    def remove_round_observer(self, observer: Any) -> None:
+        """Unregister an observer (no error if absent)."""
+        try:
+            self._round_observers.remove(observer)
+        except ValueError:
+            pass
+
     # -- messaging -------------------------------------------------------------
 
     def send(self, src: NodeId, dst: NodeId, kind: str, payload: Any = None) -> None:
@@ -168,6 +196,9 @@ class Network:
             if self._outbox:
                 _tele.emit("congest.messages", len(self._outbox))
                 _tele.emit("congest.message_words", words)
+        if self._round_observers:
+            for obs in self._round_observers:
+                obs.on_round(self, self._outbox, words)
         self._outbox = []
         self._edge_load.clear()
         return inboxes
@@ -195,6 +226,9 @@ class Network:
                 _tele.emit("congest.messages", messages)
             if words:
                 _tele.emit("congest.message_words", words)
+        if self._round_observers:
+            for obs in self._round_observers:
+                obs.on_charge(self, int(math.ceil(rounds)), messages, words)
 
     # -- phases ------------------------------------------------------------------
 

@@ -7,9 +7,10 @@ observability tool for understanding *where* an execution spends its
 rounds, finer-grained than the phase totals in
 :class:`~repro.congest.metrics.RunMetrics`.
 
-The trace hooks the network's ``tick``/``charge_rounds`` without the
-network knowing (decoration), so zero cost is added when no trace is
-attached.
+The trace registers as a round observer
+(:meth:`~repro.congest.network.Network.add_round_observer`); when none is
+attached the network's hot paths pay one truthiness check per round, the
+same zero-overhead guard as the telemetry event bus.
 """
 
 from __future__ import annotations
@@ -128,34 +129,33 @@ class RoundTrace:
         return "\n".join(lines)
 
 
+class _TraceObserver:
+    """Adapter feeding a :class:`RoundTrace` from the network's observer hook."""
+
+    __slots__ = ("trace",)
+
+    def __init__(self, trace: RoundTrace) -> None:
+        self.trace = trace
+
+    def on_round(self, net: Network, delivered, words: int) -> None:
+        self.trace.samples.append(RoundSample(
+            round_index=net.metrics.rounds,
+            messages=len(delivered),
+            words=words,
+            phase=net.metrics.phase_name,
+        ))
+
+    def on_charge(self, net: Network, rounds: int, messages: int,
+                  words: int) -> None:
+        self.trace.charges.append(ChargeSample(
+            at_round=net.metrics.rounds,
+            rounds=rounds,
+            phase=net.metrics.phase_name,
+        ))
+
+
 def attach_trace(net: Network) -> RoundTrace:
     """Start recording ``net``'s activity; returns the live trace object."""
     trace = RoundTrace()
-    original_tick = net.tick
-    original_charge = net.charge_rounds
-
-    def tick():
-        pending = len(net._outbox)
-        words = sum(m.words for m in net._outbox)
-        inboxes = original_tick()
-        phase = net.metrics._open.name if net.metrics._open else None
-        trace.samples.append(RoundSample(
-            round_index=net.metrics.rounds,
-            messages=pending,
-            words=words,
-            phase=phase,
-        ))
-        return inboxes
-
-    def charge_rounds(rounds, messages=0, words=0):
-        original_charge(rounds, messages=messages, words=words)
-        phase = net.metrics._open.name if net.metrics._open else None
-        trace.charges.append(ChargeSample(
-            at_round=net.metrics.rounds,
-            rounds=int(rounds),
-            phase=phase,
-        ))
-
-    net.tick = tick  # type: ignore[method-assign]
-    net.charge_rounds = charge_rounds  # type: ignore[method-assign]
+    net.add_round_observer(_TraceObserver(trace))
     return trace

@@ -10,7 +10,17 @@ The observability layer every execution funnels through:
 * :mod:`~repro.telemetry.runrecord` -- the :class:`RunRecord` manifest
   (provenance + measurements + verdicts, JSON/JSONL round-trip);
 * :mod:`~repro.telemetry.bounds` -- the paper-bound checker evaluating
-  Theorems 2/3 closed forms against measured columns.
+  Theorems 2/3 closed forms against measured columns;
+* :mod:`~repro.telemetry.flight` -- the opt-in flight recorder sampling
+  per-vertex memory and per-edge congestion round by round;
+* :mod:`~repro.telemetry.chrometrace` -- Chrome ``trace_event`` export
+  (open runs in Perfetto / ``chrome://tracing``);
+* :mod:`~repro.telemetry.trajectory` -- the accumulating, idempotent
+  ``BENCH_*.json`` perf-trajectory store;
+* :mod:`~repro.telemetry.regress` -- the perf-regression gate comparing
+  bench results against the trajectory baseline;
+* :mod:`~repro.telemetry.dashboard` -- the self-contained HTML run
+  dashboard (``repro dashboard``).
 
 See docs/observability.md for the span/counter naming scheme and the
 RunRecord JSON schema.
@@ -26,16 +36,40 @@ from .bounds import (
     failures,
     verdict_from_dict,
 )
+from .chrometrace import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from .collector import SpanNode, TelemetryCollector, render_profile
+from .dashboard import build_dashboard, render_dashboard
 from .events import attach, collect, detach, emit, enabled, gauge, span
+from .flight import FlightConfig, FlightRecorder, attach_flight_recorder
+from .regress import RegressionReport, Tolerances, compare_payload
 from .runrecord import RunRecord, make_run_record, peak_rss_kb
+from .trajectory import append_entry, baseline_entry, load_trajectory, make_entry
 
 __all__ = [
     "BoundVerdict",
+    "FlightConfig",
+    "FlightRecorder",
+    "RegressionReport",
     "RunRecord",
     "SpanNode",
     "TelemetryCollector",
+    "Tolerances",
     "all_passed",
+    "append_entry",
+    "attach_flight_recorder",
+    "baseline_entry",
+    "build_dashboard",
+    "compare_payload",
+    "load_trajectory",
+    "make_entry",
+    "render_dashboard",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "attach",
     "check_graph_columns",
     "check_table1_relations",

@@ -1,0 +1,214 @@
+"""Chrome ``trace_event`` export: open runs in Perfetto / chrome://tracing.
+
+Converts telemetry span trees (``SpanNode.to_dict`` form, as stored in
+:class:`~repro.telemetry.runrecord.RunRecord` manifests) plus optional
+flight-recorder data into the Chrome trace-event JSON format
+(https://ui.perfetto.dev accepts the files directly):
+
+* spans become balanced ``B``/``E`` duration events on the *build* track
+  (pid 1), nested exactly as they nested at runtime, with the span's
+  exclusive counters in ``args``;
+* the cumulative simulated/charged round counters become ``C`` counter
+  events sampled at every span boundary — per-stage round counters as
+  counter tracks;
+* flight samples (when given) become counter tracks on their own process
+  (pid 2+) whose clock is the *simulated round index*, one microsecond per
+  round: per-round messages/words, per-vertex memory aggregates, and the
+  per-prefix memory breakdown.
+
+``validate_chrome_trace`` structurally checks a document (balanced and
+properly nested B/E, monotone timestamps per track) and is what the test
+suite runs against exported files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+#: Counters promoted to cumulative counter tracks at span boundaries.
+_COUNTER_TRACKS = ("congest.rounds", "congest.charged_rounds")
+
+_BUILD_PID = 1
+_FLIGHT_PID = 2
+
+
+def _meta_event(pid: int, name: str, *, tid: Optional[int] = None,
+                kind: str = "process_name") -> Dict[str, Any]:
+    event: Dict[str, Any] = {
+        "ph": "M", "name": kind, "pid": pid, "args": {"name": name},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def _span_events(
+    spans: Sequence[Dict[str, Any]],
+    events: List[Dict[str, Any]],
+    cumulative: Dict[str, float],
+) -> None:
+    """Emit B/E pairs (and boundary counter samples) for a span forest."""
+
+    def emit_counters(ts: float) -> None:
+        for track in _COUNTER_TRACKS:
+            events.append({
+                "ph": "C", "name": track, "pid": _BUILD_PID, "tid": 1,
+                "ts": ts, "args": {track.split(".")[-1]: cumulative[track]},
+            })
+
+    def walk(node: Dict[str, Any], default_start: float) -> float:
+        start = float(node.get("t0", default_start))
+        wall = float(node.get("wall_s", 0.0))
+        counters = node.get("counters", {})
+        events.append({
+            "ph": "B", "name": node["name"], "pid": _BUILD_PID, "tid": 1,
+            "ts": start * 1e6, "args": {k: v for k, v in counters.items()},
+        })
+        cursor = start
+        for child in node.get("children", ()):
+            cursor = walk(child, cursor)
+        end = max(start + wall, cursor)
+        for track in _COUNTER_TRACKS:
+            cumulative[track] += counters.get(track, 0)
+        events.append({
+            "ph": "E", "name": node["name"], "pid": _BUILD_PID, "tid": 1,
+            "ts": end * 1e6,
+        })
+        emit_counters(end * 1e6)
+        return end
+
+    cursor = 0.0
+    for root in spans:
+        cursor = walk(root, cursor)
+
+
+def _flight_events(
+    flight: Dict[str, Any],
+    events: List[Dict[str, Any]],
+    pid: int,
+    label: str,
+) -> None:
+    """Counter tracks over the simulated-round clock (1 round == 1 us)."""
+    events.append(_meta_event(pid, label))
+    for sample in flight.get("samples", ()):
+        ts = float(sample["round"])
+        events.append({
+            "ph": "C", "name": "flight.traffic", "pid": pid, "tid": 1,
+            "ts": ts,
+            "args": {"messages": sample["messages"],
+                     "words": sample["words"]},
+        })
+        events.append({
+            "ph": "C", "name": "flight.memory", "pid": pid, "tid": 1,
+            "ts": ts,
+            "args": {"current_max": sample["mem_current_max"],
+                     "high_water_max": sample["mem_high_water_max"]},
+        })
+        prefixes = sample.get("prefixes")
+        if prefixes:
+            events.append({
+                "ph": "C", "name": "flight.memory_by_prefix", "pid": pid,
+                "tid": 1, "ts": ts,
+                "args": {k.rstrip("/") or k: v for k, v in prefixes.items()},
+            })
+
+
+def to_chrome_trace(
+    spans: Sequence[Dict[str, Any]],
+    *,
+    flight: Optional[Union[Dict[str, Any], Sequence[Dict[str, Any]]]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build a Chrome trace-event document from serialized telemetry.
+
+    ``spans`` is the ``RunRecord.spans`` / ``TelemetryCollector.span_dicts``
+    forest; nodes without a recorded ``t0`` (records written before the
+    field existed) are laid out sequentially from their wall-clock widths.
+    ``flight`` is one flight-recorder ``to_dict()`` or a list of them (one
+    counter-track process each).
+    """
+    events: List[Dict[str, Any]] = [
+        _meta_event(_BUILD_PID, "repro build (wall clock)"),
+        _meta_event(_BUILD_PID, "spans", tid=1, kind="thread_name"),
+    ]
+    cumulative = {track: 0.0 for track in _COUNTER_TRACKS}
+    _span_events(spans, events, cumulative)
+    if flight:
+        recorders = [flight] if isinstance(flight, dict) else list(flight)
+        for i, recorder in enumerate(recorders):
+            label = f"flight net[{i}] (simulated rounds)"
+            _flight_events(recorder, events, _FLIGHT_PID + i, label)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta or {}),
+    }
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    spans: Sequence[Dict[str, Any]],
+    *,
+    flight: Optional[Union[Dict[str, Any], Sequence[Dict[str, Any]]]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Serialize :func:`to_chrome_trace` output to ``path``; returns it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = to_chrome_trace(spans, flight=flight, meta=meta)
+    path.write_text(json.dumps(doc) + "\n")
+    return path
+
+
+def validate_chrome_trace(doc: Dict[str, Any]) -> List[str]:
+    """Structural checks on a trace document; returns problem strings.
+
+    An empty list means the document is well-formed: ``traceEvents``
+    present, every event carries ``ph``/``pid``, duration events carry
+    numeric ``ts``, timestamps are non-decreasing per (pid, tid) track in
+    file order, and B/E events balance with LIFO name matching.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    last_ts: Dict[Any, float] = {}
+    stacks: Dict[Any, List[str]] = {}
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        if ph not in ("B", "E", "C", "M", "X", "i"):
+            problems.append(f"event {i}: unknown ph {ph!r}")
+            continue
+        if "pid" not in event:
+            problems.append(f"event {i}: missing pid")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i}: missing numeric ts")
+            continue
+        track = (event.get("pid"), event.get("tid"))
+        if ts < last_ts.get(track, float("-inf")):
+            problems.append(
+                f"event {i}: ts {ts} decreases on track {track}"
+            )
+        last_ts[track] = ts
+        if ph == "B":
+            stacks.setdefault(track, []).append(event.get("name", ""))
+        elif ph == "E":
+            stack = stacks.setdefault(track, [])
+            if not stack:
+                problems.append(f"event {i}: E without matching B")
+            else:
+                opened = stack.pop()
+                name = event.get("name", opened)
+                if name != opened:
+                    problems.append(
+                        f"event {i}: E {name!r} closes B {opened!r}"
+                    )
+    for track, stack in stacks.items():
+        if stack:
+            problems.append(f"track {track}: unclosed B events {stack}")
+    return problems

@@ -1,0 +1,490 @@
+"""The run dashboard: one self-contained HTML file, no external assets.
+
+``repro dashboard --out dashboard.html`` renders every repo-root
+``BENCH_*.json`` perf trajectory (plus any RunRecord manifests passed
+explicitly) into a single static page:
+
+* a header stat row — bench count, trajectory depth, regression-gate and
+  bound-checker verdicts;
+* per bench: metric cards for the headline row's hard metrics (latest
+  value, delta vs the comparison baseline, an inline-SVG sparkline over
+  the trajectory entries), the latest measured table, bound-checker
+  verdicts, and the regression-gate report from
+  :mod:`repro.telemetry.regress`;
+* per RunRecord: the span table with round-share bars, counters/gauges,
+  and flight-recorder timelines when the record carries them.
+
+Everything is inline (CSS custom properties for light/dark, SVG marks,
+``<title>`` hover tooltips) so the file can be archived as a CI artifact
+and opened anywhere.  Colors follow the validated reference palette:
+single-hue blue for series, reserved status colors with icon + label,
+text in ink tokens rather than series colors.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from . import regress
+from .trajectory import baseline_entry, load_trajectory, row_key
+
+_CSS = """
+:root {
+  color-scheme: light dark;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-dim: #9ec5f4;
+  --good: #0ca30c; --warning: #fab219; --critical: #d03b3b;
+  --delta-good: #006300;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-dim: #1c5cab;
+    --delta-good: #0ca30c;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink-1);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 1080px; margin: 0 auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 28px 0 8px; }
+h3 { font-size: 13px; margin: 14px 0 6px; color: var(--ink-2);
+     font-weight: 600; }
+.sub { color: var(--ink-2); margin: 0 0 18px; }
+.cards { display: flex; flex-wrap: wrap; gap: 12px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 14px; min-width: 170px;
+}
+.card .label { color: var(--ink-2); font-size: 12px; }
+.card .value { font-size: 24px; font-weight: 600; margin: 2px 0; }
+.card .delta { font-size: 12px; }
+.delta.up { color: var(--critical); }
+.delta.down { color: var(--delta-good); }
+.delta.flat { color: var(--muted); }
+section.bench {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 16px 18px; margin: 18px 0;
+}
+table { border-collapse: collapse; margin: 6px 0; width: 100%; }
+th, td {
+  text-align: right; padding: 3px 10px; border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums; font-size: 13px;
+}
+th { color: var(--ink-2); font-weight: 600; }
+th:first-child, td:first-child { text-align: left; }
+.badge {
+  display: inline-block; border-radius: 6px; padding: 1px 8px;
+  font-size: 12px; font-weight: 600; border: 1px solid var(--border);
+}
+.badge.pass { color: var(--delta-good); }
+.badge.warn { color: var(--ink-1); }
+.badge.fail { color: var(--critical); }
+.spark { vertical-align: middle; }
+.bar-track {
+  background: var(--grid); border-radius: 4px; height: 10px; width: 160px;
+  display: inline-block; vertical-align: middle;
+}
+.bar-fill {
+  background: var(--series-1); border-radius: 0 4px 4px 0; height: 10px;
+  display: block;
+}
+.mono { font-family: ui-monospace, monospace; font-size: 12px;
+        color: var(--ink-2); }
+ul.verdicts { list-style: none; padding: 0; margin: 6px 0; }
+ul.verdicts li { font-size: 13px; padding: 1px 0; }
+footer { color: var(--muted); font-size: 12px; margin-top: 24px; }
+"""
+
+_STATUS_ICON = {"pass": "✓", "warn": "△", "fail": "✕", "soft": "·"}
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _fmt(value: Any) -> str:
+    """Compact numeric formatting (1,284 / 12.9K / 4.2M)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return _esc(value)
+    if value != value:  # NaN
+        return "nan"
+    a = abs(value)
+    if a >= 1e6:
+        return f"{value / 1e6:.1f}M"
+    if a >= 1e4:
+        return f"{value / 1e3:.1f}K"
+    if isinstance(value, float) and a < 100:
+        return f"{value:.3g}"
+    return f"{value:,.0f}" if a >= 1000 else f"{value:g}"
+
+
+def sparkline_svg(
+    values: Sequence[float],
+    *,
+    width: int = 140,
+    height: int = 32,
+    labels: Optional[Sequence[str]] = None,
+) -> str:
+    """A single-series inline-SVG sparkline.
+
+    The series rides in the de-emphasis hue with the current (last) point
+    marked in the accent with a surface ring; each point carries a native
+    ``<title>`` tooltip.  Degenerate inputs render a flat midline.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    pad = 5
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    inner_w = width - 2 * pad
+    inner_h = height - 2 * pad
+    step = inner_w / max(1, len(values) - 1)
+
+    def xy(i: int, v: float) -> tuple:
+        x = pad + (i * step if len(values) > 1 else inner_w / 2)
+        y = pad + inner_h * (1 - (v - lo) / span)
+        return round(x, 1), round(y, 1)
+
+    points = [xy(i, v) for i, v in enumerate(values)]
+    path = " ".join(f"{'M' if i == 0 else 'L'}{x},{y}"
+                    for i, (x, y) in enumerate(points))
+    lx, ly = points[-1]
+    dots = []
+    for i, (x, y) in enumerate(points):
+        tip = labels[i] if labels and i < len(labels) else _fmt(values[i])
+        dots.append(
+            f'<circle cx="{x}" cy="{y}" r="2.5" fill="transparent">'
+            f"<title>{_esc(tip)}</title></circle>"
+        )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="trend over {len(values)} entries">'
+        f'<path d="{path}" fill="none" stroke="var(--series-dim)" '
+        f'stroke-width="2" stroke-linecap="round" '
+        f'stroke-linejoin="round"/>'
+        f'<circle cx="{lx}" cy="{ly}" r="6" fill="var(--surface-1)"/>'
+        f'<circle cx="{lx}" cy="{ly}" r="4" fill="var(--series-1)"/>'
+        f"{''.join(dots)}"
+        f"</svg>"
+    )
+
+
+def _delta_html(previous: Optional[float], current: Optional[float]) -> str:
+    """Signed delta vs the baseline entry; cost metrics: up is bad."""
+    if previous is None or current is None:
+        return '<span class="delta flat">no baseline</span>'
+    diff = current - previous
+    if diff == 0:
+        return '<span class="delta flat">= baseline</span>'
+    cls = "up" if diff > 0 else "down"
+    arrow = "▲" if diff > 0 else "▼"
+    return (f'<span class="delta {cls}">{arrow} {_fmt(abs(diff))} '
+            f"vs baseline</span>")
+
+
+def _badge(status: str) -> str:
+    icon = _STATUS_ICON.get(status, "·")
+    return f'<span class="badge {status}">{icon} {_esc(status)}</span>'
+
+
+def _rows_table(rows: List[Dict[str, Any]]) -> str:
+    if not rows:
+        return '<p class="mono">(no data rows)</p>'
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    head = "".join(f"<th>{_esc(c)}</th>" for c in columns)
+    body = []
+    for row in rows:
+        cells = "".join(f"<td>{_fmt(row.get(c, ''))}</td>" for c in columns)
+        body.append(f"<tr>{cells}</tr>")
+    return (f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{''.join(body)}</tbody></table>")
+
+
+def _metric_cards(traj: Dict[str, Any], latest: Dict[str, Any],
+                  baseline: Optional[Dict[str, Any]],
+                  *, max_cards: int = 6) -> str:
+    """Cards for the headline row's hard metrics, sparklined over entries."""
+    rows = latest.get("data") or []
+    if not isinstance(rows, list) or not rows or not isinstance(rows[-1],
+                                                                dict):
+        return ""
+    headline = rows[-1]
+    key = row_key(headline)
+    sig = latest.get("workload_sig")
+    series_entries = [
+        e for e in traj.get("entries", [])
+        if sig is None or e.get("workload_sig") in (None, sig)
+    ]
+
+    def value_in(entry: Dict[str, Any], metric: str) -> Optional[float]:
+        for row in entry.get("data") or []:
+            if isinstance(row, dict) and row_key(row) == key:
+                v = row.get(metric)
+                if isinstance(v, (int, float)) and not isinstance(v, bool):
+                    return float(v)
+        return None
+
+    cards = []
+    for metric, value in headline.items():
+        if len(cards) >= max_cards:
+            break
+        if regress.classify(metric) != "hard":
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        series = [value_in(e, metric) for e in series_entries]
+        series = [v for v in series if v is not None]
+        base_val = value_in(baseline, metric) if baseline else None
+        spark = sparkline_svg(series) if len(series) > 1 else ""
+        cards.append(
+            '<div class="card">'
+            f'<div class="label">{_esc(metric)} · {_esc(key)}</div>'
+            f'<div class="value">{_fmt(value)}</div>'
+            f"<div>{_delta_html(base_val, float(value))}</div>"
+            f"{spark}"
+            "</div>"
+        )
+    if not cards:
+        return ""
+    return f'<div class="cards">{"".join(cards)}</div>'
+
+
+def _verdict_list(meta: Dict[str, Any]) -> str:
+    verdicts = meta.get("verdicts") or []
+    if not verdicts:
+        return ""
+    items = []
+    for v in verdicts:
+        status = "pass" if v.get("passed") else "fail"
+        items.append(
+            f"<li>{_badge(status)} {_esc(v.get('name', '?'))} "
+            f'<span class="mono">measured {_fmt(v.get("measured", "?"))} '
+            f"/ limit {_fmt(v.get('limit', '?'))}</span></li>"
+        )
+    return ("<h3>Paper-bound verdicts</h3>"
+            f'<ul class="verdicts">{"".join(items)}</ul>')
+
+
+def _regress_html(report: regress.RegressionReport) -> str:
+    parts = [f"<h3>Regression gate {_badge(report.status)}</h3>"]
+    if report.note:
+        parts.append(f'<p class="mono">{_esc(report.note)}</p>')
+    interesting = [d for d in report.deltas
+                   if d.status in ("fail", "warn", "improved", "new", "gone")]
+    if interesting:
+        items = "".join(
+            f"<li>{_badge('fail' if d.status == 'fail' else 'warn')} "
+            f"{_esc(d.row)} {_esc(d.metric)}: "
+            f"{_fmt(d.baseline)} → {_fmt(d.current)}"
+            f"{' — ' + _esc(d.note) if d.note else ''}</li>"
+            for d in interesting[:12]
+        )
+        parts.append(f'<ul class="verdicts">{items}</ul>')
+    return "".join(parts)
+
+
+def _bench_section(path: Path) -> str:
+    traj = load_trajectory(path)
+    entries = traj.get("entries", [])
+    if not entries:
+        return ""
+    latest = entries[-1]
+    baseline = baseline_entry(traj, latest)
+    report = regress.compare_payload(latest, baseline)
+    name = traj.get("name", path.stem)
+    sha = latest.get("git_sha") or "uncommitted"
+    parts = [
+        f'<section class="bench" id="{_esc(name)}">',
+        f"<h2>{_esc(name)}</h2>",
+        f'<p class="mono">{len(entries)} trajectory entr'
+        f"{'y' if len(entries) == 1 else 'ies'} · latest "
+        f"v{_esc(latest.get('package_version', '?'))} @ {_esc(str(sha)[:12])}"
+        "</p>",
+        _metric_cards(traj, latest, baseline),
+        "<h3>Latest measurements</h3>",
+        _rows_table([r for r in (latest.get("data") or [])
+                     if isinstance(r, dict)]),
+        _verdict_list(latest.get("meta") or {}),
+        _regress_html(report),
+        "</section>",
+    ]
+    return "".join(p for p in parts if p)
+
+
+def _span_rows(spans: List[Dict[str, Any]], depth: int = 0
+               ) -> List[Dict[str, Any]]:
+    out = []
+    for node in spans:
+        counters = node.get("counters", {})
+        out.append({
+            "name": (" " * (depth * 3)) + node.get("name", "?"),
+            "wall_s": node.get("wall_s", 0.0),
+            "rounds": counters.get("congest.rounds", 0),
+            "charged": counters.get("congest.charged_rounds", 0),
+            "messages": counters.get("congest.messages", 0),
+        })
+        out.extend(_span_rows(node.get("children", []), depth + 1))
+    return out
+
+
+def _record_section(record: Dict[str, Any], label: str) -> str:
+    spans = record.get("spans") or []
+    rows = _span_rows(spans)
+    peak_rounds = max((r["rounds"] + r["charged"] for r in rows), default=0)
+    body = []
+    for r in rows:
+        total = r["rounds"] + r["charged"]
+        pct = 0 if not peak_rounds else round(100 * total / peak_rounds)
+        body.append(
+            f"<tr><td>{_esc(r['name'])}</td>"
+            f"<td>{r['wall_s']:.4f}</td><td>{_fmt(r['rounds'])}</td>"
+            f"<td>{_fmt(r['charged'])}</td><td>{_fmt(r['messages'])}</td>"
+            f'<td style="text-align:left">'
+            f'<span class="bar-track"><span class="bar-fill" '
+            f'style="width:{pct}%"></span></span></td></tr>'
+        )
+    gauges = record.get("gauges") or {}
+    counters = record.get("counters") or {}
+    stat_bits = [
+        f"kind {record.get('kind', '?')}",
+        f"wall {record.get('wall_s', 0):.2f}s",
+        f"rounds {_fmt(counters.get('congest.rounds', 0))}",
+        f"charged {_fmt(counters.get('congest.charged_rounds', 0))}",
+    ]
+    if "memory.high_water_words" in gauges:
+        stat_bits.append(
+            f"mem high-water {_fmt(gauges['memory.high_water_words'])}w")
+    parts = [
+        f'<section class="bench"><h2>RunRecord · {_esc(label)}</h2>',
+        f'<p class="mono">{_esc(" · ".join(stat_bits))}</p>',
+        "<h3>Per-stage rounds</h3>",
+        "<table><thead><tr><th>span</th><th>wall_s</th><th>rounds</th>"
+        "<th>charged</th><th>messages</th><th>share</th></tr></thead>"
+        f"<tbody>{''.join(body)}</tbody></table>"
+        if rows else '<p class="mono">(no spans recorded)</p>',
+    ]
+    flight = record.get("flight")
+    if flight:
+        recorders = flight if isinstance(flight, list) else [flight]
+        for i, rec in enumerate(recorders):
+            samples = rec.get("samples") or []
+            if not samples:
+                continue
+            labels = [f"round {s['round']}: {s['messages']} msgs, "
+                      f"{s['mem_current_max']}w peak" for s in samples]
+            parts.append(
+                f"<h3>Flight net[{i}] — messages / memory per sampled "
+                "round</h3>"
+                + sparkline_svg([s["messages"] for s in samples],
+                                width=420, labels=labels)
+                + sparkline_svg([s["mem_current_max"] for s in samples],
+                                width=420, labels=labels)
+            )
+    parts.append("</section>")
+    return "".join(parts)
+
+
+def render_dashboard(
+    bench_paths: Sequence[Union[str, Path]],
+    *,
+    record_paths: Sequence[Union[str, Path]] = (),
+    title: str = "repro perf dashboard",
+) -> str:
+    """Render the full HTML document from trajectory + RunRecord files."""
+    bench_paths = [Path(p) for p in bench_paths]
+    sections = []
+    statuses = []
+    total_entries = 0
+    n_benches = 0
+    for path in sorted(bench_paths):
+        traj = load_trajectory(path)
+        entries = traj.get("entries", [])
+        if not entries:
+            continue
+        n_benches += 1
+        total_entries += len(entries)
+        latest = entries[-1]
+        report = regress.compare_payload(
+            latest, baseline_entry(traj, latest))
+        statuses.append(report.status)
+        verdicts = (latest.get("meta") or {}).get("verdicts") or []
+        statuses.extend(
+            "pass" if v.get("passed") else "fail" for v in verdicts)
+        sections.append(_bench_section(path))
+    for path in record_paths:
+        path = Path(path)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        sections.append(_record_section(record, path.name))
+    gate = ("fail" if "fail" in statuses
+            else "warn" if "warn" in statuses
+            else "pass")
+    header_cards = (
+        '<div class="cards">'
+        '<div class="card"><div class="label">benches tracked</div>'
+        f'<div class="value">{n_benches}</div></div>'
+        '<div class="card"><div class="label">trajectory entries</div>'
+        f'<div class="value">{total_entries}</div></div>'
+        '<div class="card"><div class="label">gate + bound verdicts</div>'
+        f'<div class="value">{_badge(gate)}</div></div>'
+        "</div>"
+    )
+    from .. import __version__
+
+    doc = (
+        "<!doctype html><html lang=\"en\"><head><meta charset=\"utf-8\">"
+        f"<title>{_esc(title)}</title>"
+        '<meta name="viewport" content="width=device-width, initial-scale=1">'
+        f"<style>{_CSS}</style></head><body><main>"
+        f"<h1>{_esc(title)}</h1>"
+        '<p class="sub">Perf trajectories from the repo-root '
+        "<code>BENCH_*.json</code> files; regression gate per "
+        "<code>repro.telemetry.regress</code>.</p>"
+        f"{header_cards}"
+        f"{''.join(sections)}"
+        f"<footer>generated by repro v{_esc(__version__)} · "
+        "static file, no external assets</footer>"
+        "</main></body></html>"
+    )
+    return doc
+
+
+def build_dashboard(
+    root: Union[str, Path],
+    out: Union[str, Path],
+    *,
+    record_paths: Sequence[Union[str, Path]] = (),
+    title: str = "repro perf dashboard",
+) -> Path:
+    """Render every ``<root>/BENCH_*.json`` to ``out``; returns the path."""
+    root = Path(root)
+    out = Path(out)
+    doc = render_dashboard(
+        sorted(root.glob("BENCH_*.json")),
+        record_paths=record_paths,
+        title=title,
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(doc)
+    return out

@@ -1,0 +1,345 @@
+"""The perf-regression gate over the ``BENCH_*.json`` trajectories.
+
+Compares a benchmark's *current* payload (the ``benchmarks/results/
+<name>.json`` twin) against the newest comparable trajectory entry
+(:func:`repro.telemetry.trajectory.baseline_entry`) and classifies every
+numeric metric, row by row:
+
+* **hard** metrics — ``rounds``, ``messages``, ``words``, ``memory``,
+  sizes, stretch: the simulator is deterministic, so these compare
+  *exact-or-ε* (``Tolerances.hard_rel``/``hard_abs``, both 0 by default).
+  An increase beyond tolerance is a **fail**; a decrease beyond tolerance
+  is reported as **improved** (and the trajectory records the new level).
+* **soft** metrics — wall-clock, RSS, timestamps: machine-dependent,
+  reported but never failing.
+* everything else — ratios, coverage fractions: drift beyond
+  ``other_rel`` is a **warn**.
+
+``python -m repro.telemetry.regress`` runs the gate over a results
+directory (exit 1 in ``--mode enforce`` when any hard metric regressed);
+``benchmarks/_util.emit`` runs the same comparison inline after every
+bench and prints the verdict.  Exactly-at-tolerance is a pass; a missing
+baseline, a workload change (different signature), or a brand-new metric
+is reported but never fails the gate — only measured regressions do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from .trajectory import baseline_entry, load_trajectory, row_key
+
+#: Substrings marking deterministic cost metrics (exact-or-ε, gate-failing).
+HARD_PATTERNS = (
+    "rounds", "messages", "words", "memory", "size", "table", "label",
+    "degree", "stretch", "beta", "hops", "depth", "d_bound",
+)
+#: Substrings marking machine-dependent metrics (report-only).
+SOFT_PATTERNS = ("wall", "time", "rss", "unix")
+
+
+def classify(metric: str) -> str:
+    """``hard`` | ``soft`` | ``other`` for one metric name."""
+    lowered = metric.lower()
+    if any(p in lowered for p in SOFT_PATTERNS):
+        return "soft"
+    if any(p in lowered for p in HARD_PATTERNS):
+        return "hard"
+    return "other"
+
+
+@dataclass
+class Tolerances:
+    """Per-class comparison slack (defaults: hard metrics exact)."""
+
+    hard_rel: float = 0.0
+    hard_abs: float = 0.0
+    other_rel: float = 0.05
+
+
+@dataclass
+class MetricDelta:
+    """One metric's baseline-vs-current comparison."""
+
+    row: str
+    metric: str
+    kind: str  # hard | soft | other
+    baseline: Optional[float]
+    current: Optional[float]
+    status: str  # pass | improved | fail | warn | soft | new | gone
+    note: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "row": self.row, "metric": self.metric, "kind": self.kind,
+            "baseline": self.baseline, "current": self.current,
+            "status": self.status, "note": self.note,
+        }
+
+
+@dataclass
+class RegressionReport:
+    """Verdict for one bench: metric deltas plus baseline provenance."""
+
+    name: str
+    deltas: List[MetricDelta] = field(default_factory=list)
+    baseline_run_id: Optional[str] = None
+    baseline_sha: Optional[str] = None
+    note: str = ""
+
+    @property
+    def failures(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.status == "fail"]
+
+    @property
+    def warnings(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.status == "warn"]
+
+    @property
+    def status(self) -> str:
+        if self.failures:
+            return "fail"
+        if self.warnings:
+            return "warn"
+        return "pass"
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "baseline_run_id": self.baseline_run_id,
+            "baseline_sha": self.baseline_sha,
+            "note": self.note,
+            "deltas": [d.to_dict() for d in self.deltas],
+        }
+
+    def render(self, *, verbose: bool = False) -> str:
+        marks = {"pass": "ok", "warn": "WARN", "fail": "FAIL"}
+        head = f"[{marks[self.status]:>4}] {self.name}"
+        if self.note:
+            head += f" ({self.note})"
+        elif self.baseline_sha or self.baseline_run_id:
+            ref = (self.baseline_sha or self.baseline_run_id or "")[:12]
+            head += f" (vs {ref})"
+        lines = [head]
+        for d in self.deltas:
+            interesting = d.status in ("fail", "warn", "improved", "new",
+                                       "gone")
+            if not (interesting or verbose):
+                continue
+            lines.append(
+                f"    {d.status:>8}  {d.row} {d.metric}: "
+                f"{d.baseline} -> {d.current}"
+                + (f"  [{d.note}]" if d.note else "")
+            )
+        return "\n".join(lines)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _compare_metric(
+    row: str, metric: str, base: Any, cur: Any, tol: Tolerances
+) -> MetricDelta:
+    kind = classify(metric)
+    if not (_is_number(base) and _is_number(cur)):
+        status = "pass" if base == cur else "warn"
+        return MetricDelta(row, metric, kind, None, None, status,
+                           note="non-numeric" if status == "warn" else "")
+    base_f, cur_f = float(base), float(cur)
+    if kind == "soft":
+        return MetricDelta(row, metric, kind, base_f, cur_f, "soft")
+    if kind == "hard":
+        slack = tol.hard_rel * abs(base_f) + tol.hard_abs
+        if cur_f > base_f + slack:
+            return MetricDelta(row, metric, kind, base_f, cur_f, "fail",
+                               note=f"+{cur_f - base_f:g} beyond "
+                                    f"tolerance {slack:g}")
+        if cur_f < base_f - slack:
+            return MetricDelta(row, metric, kind, base_f, cur_f, "improved")
+        return MetricDelta(row, metric, kind, base_f, cur_f, "pass")
+    scale = max(abs(base_f), 1e-12)
+    if abs(cur_f - base_f) / scale > tol.other_rel:
+        return MetricDelta(row, metric, kind, base_f, cur_f, "warn",
+                           note=f"drift {abs(cur_f - base_f) / scale:.1%} "
+                                f"> {tol.other_rel:.0%}")
+    return MetricDelta(row, metric, kind, base_f, cur_f, "pass")
+
+
+def compare_rows(
+    current_rows: Iterable[Dict[str, Any]],
+    baseline_rows: Iterable[Dict[str, Any]],
+    tol: Optional[Tolerances] = None,
+) -> List[MetricDelta]:
+    """Align rows by key and compare every metric (see module docstring)."""
+    tol = tol or Tolerances()
+    base_by_key = {row_key(r): r for r in baseline_rows
+                   if isinstance(r, dict)}
+    deltas: List[MetricDelta] = []
+    seen = set()
+    for row in current_rows:
+        if not isinstance(row, dict):
+            continue
+        key = row_key(row)
+        seen.add(key)
+        base = base_by_key.get(key)
+        if base is None:
+            deltas.append(MetricDelta(key, "*", "other", None, None, "new",
+                                      note="row not in baseline"))
+            continue
+        for metric, cur in row.items():
+            if metric not in base:
+                deltas.append(MetricDelta(
+                    key, metric, classify(metric), None,
+                    float(cur) if _is_number(cur) else None, "new",
+                    note="metric not in baseline"))
+                continue
+            deltas.append(_compare_metric(key, metric, base[metric], cur,
+                                          tol))
+        for metric in base:
+            if metric not in row:
+                deltas.append(MetricDelta(
+                    key, metric, classify(metric),
+                    float(base[metric]) if _is_number(base[metric]) else None,
+                    None, "gone", note="metric dropped"))
+    for key in base_by_key:
+        if key not in seen:
+            deltas.append(MetricDelta(key, "*", "other", None, None, "gone",
+                                      note="row dropped"))
+    return deltas
+
+
+def compare_payload(
+    current: Dict[str, Any],
+    baseline: Optional[Dict[str, Any]],
+    tol: Optional[Tolerances] = None,
+) -> RegressionReport:
+    """Compare one bench payload against one trajectory entry (or None)."""
+    name = current.get("name", "?")
+    if baseline is None:
+        return RegressionReport(name=name, note="no comparable baseline")
+    if (baseline.get("workload_sig") and current.get("workload_sig")
+            and baseline["workload_sig"] != current["workload_sig"]):
+        return RegressionReport(
+            name=name, note="workload changed; baseline not comparable",
+            baseline_run_id=baseline.get("run_id"),
+            baseline_sha=baseline.get("git_sha"),
+        )
+    cur_rows = current.get("data") or []
+    base_rows = baseline.get("data") or []
+    if isinstance(cur_rows, dict):
+        cur_rows = [cur_rows]
+    if isinstance(base_rows, dict):
+        base_rows = [base_rows]
+    return RegressionReport(
+        name=name,
+        deltas=compare_rows(cur_rows, base_rows, tol),
+        baseline_run_id=baseline.get("run_id"),
+        baseline_sha=baseline.get("git_sha"),
+    )
+
+
+def check_results(
+    root: Union[str, Path],
+    results_dir: Union[str, Path],
+    *,
+    tol: Optional[Tolerances] = None,
+    benches: Optional[Sequence[str]] = None,
+) -> List[RegressionReport]:
+    """Gate every ``<results_dir>/<name>.json`` against ``<root>/BENCH_*``."""
+    root = Path(root)
+    results_dir = Path(results_dir)
+    reports: List[RegressionReport] = []
+    for payload_path in sorted(results_dir.glob("*.json")):
+        name = payload_path.stem
+        if benches and name not in benches:
+            continue
+        try:
+            current = json.loads(payload_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            reports.append(RegressionReport(
+                name=name, note=f"unreadable payload: {exc}"))
+            continue
+        traj = load_trajectory(root / f"BENCH_{name}.json")
+        baseline = baseline_entry(traj, current)
+        reports.append(compare_payload(current, baseline, tol))
+    return reports
+
+
+def render_reports(reports: Sequence[RegressionReport], *,
+                   verbose: bool = False) -> str:
+    if not reports:
+        return "regression gate: no bench payloads found"
+    lines = [r.render(verbose=verbose) for r in reports]
+    failed = sum(1 for r in reports if not r.passed)
+    warned = sum(1 for r in reports if r.status == "warn")
+    lines.append(
+        f"regression gate: {len(reports)} bench(es), "
+        f"{failed} fail, {warned} warn"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.telemetry.regress",
+        description="Gate bench results against the BENCH_*.json "
+                    "perf trajectories.",
+    )
+    default_root = Path(__file__).resolve().parents[3]
+    parser.add_argument("--root", type=Path, default=default_root,
+                        help="repo root holding the BENCH_*.json files")
+    parser.add_argument("--results", type=Path, default=None,
+                        help="directory of current payloads "
+                             "(default <root>/benchmarks/results)")
+    parser.add_argument("--bench", action="append", default=None,
+                        metavar="NAME", help="gate only these benches")
+    parser.add_argument("--mode", choices=("warn", "enforce"),
+                        default="enforce",
+                        help="enforce: exit 1 on any hard regression")
+    parser.add_argument("--hard-rel", type=float, default=0.0,
+                        help="relative tolerance for hard metrics")
+    parser.add_argument("--hard-abs", type=float, default=0.0,
+                        help="absolute tolerance for hard metrics")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the reports as JSON")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the output to PATH")
+    parser.add_argument("--verbose", action="store_true",
+                        help="show passing metrics too")
+    args = parser.parse_args(argv)
+
+    results = args.results or (args.root / "benchmarks" / "results")
+    tol = Tolerances(hard_rel=args.hard_rel, hard_abs=args.hard_abs)
+    reports = check_results(args.root, results, tol=tol, benches=args.bench)
+    if args.json:
+        body = json.dumps({
+            "mode": args.mode,
+            "passed": all(r.passed for r in reports),
+            "reports": [r.to_dict() for r in reports],
+        }, indent=2)
+    else:
+        body = render_reports(reports, verbose=args.verbose)
+    if args.out:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(body + "\n")
+    print(body)
+    failed = [r.name for r in reports if not r.passed]
+    if failed and args.mode == "enforce":
+        print(f"perf regression in: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

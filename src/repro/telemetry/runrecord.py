@@ -50,6 +50,7 @@ class RunRecord:
     spans: List[Dict[str, Any]] = field(default_factory=list)
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
+    flight: List[Dict[str, Any]] = field(default_factory=list)
     wall_s: float = 0.0
     peak_rss_kb: Optional[int] = None
     package_version: str = ""
@@ -77,7 +78,7 @@ class RunRecord:
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "schema_version": self.schema_version,
             "kind": self.kind,
             "created_unix": round(self.created_unix, 3),
@@ -92,6 +93,9 @@ class RunRecord:
             "wall_s": round(self.wall_s, 4),
             "peak_rss_kb": self.peak_rss_kb,
         }
+        if self.flight:
+            out["flight"] = self.flight
+        return out
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
@@ -108,6 +112,7 @@ class RunRecord:
             spans=list(d.get("spans", [])),
             counters=dict(d.get("counters", {})),
             gauges=dict(d.get("gauges", {})),
+            flight=list(d.get("flight", [])),
             wall_s=float(d.get("wall_s", 0.0)),
             peak_rss_kb=d.get("peak_rss_kb"),
             package_version=d.get("package_version", ""),
@@ -135,14 +140,21 @@ def make_run_record(
     columns: List[Dict[str, Any]],
     verdicts: Optional[List[BoundVerdict]] = None,
     collector: Optional[TelemetryCollector] = None,
+    flight: Optional[List[Dict[str, Any]]] = None,
     wall_s: float = 0.0,
 ) -> RunRecord:
-    """Assemble a RunRecord from measurements plus an optional collector."""
+    """Assemble a RunRecord from measurements plus an optional collector.
+
+    ``flight`` takes flight-recorder ``to_dict()`` payloads (one per
+    recorded network, e.g. ``session.to_dicts()`` from
+    :class:`repro.telemetry.flight.auto`).
+    """
     record = RunRecord(
         kind=kind,
         workload=workload,
         columns=columns,
         verdicts=list(verdicts or []),
+        flight=list(flight or []),
         wall_s=wall_s,
     )
     if collector is not None:

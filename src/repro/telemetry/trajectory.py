@@ -1,0 +1,188 @@
+"""The perf trajectory store behind the repo-root ``BENCH_*.json`` files.
+
+PR 1 made every benchmark emit a machine-readable payload; this module
+turns those files from single overwritten snapshots into an *accumulating
+trajectory*: each ``BENCH_<name>.json`` holds a list of entries (one per
+recorded run) carrying the measured rows plus provenance — created time,
+package version, git SHA, a per-run id, and a workload signature.
+
+Appends are **idempotent**: re-running a bench locally replaces the entry
+for the same git SHA (or run id) instead of bloating the file, so the
+trajectory stays one entry per distinct commit.  The workload signature —
+a hash of the workload parameters and row keys — lets the regression gate
+(:mod:`repro.telemetry.regress`) refuse to compare entries measured on
+different workloads.
+
+Legacy files written by PR 1 (a single ``{name, created_unix, ..., data}``
+object) load as a one-entry trajectory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+TRAJECTORY_SCHEMA = 2
+
+
+def git_sha(root: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """HEAD commit SHA of the repo at/above ``root`` (None if unavailable)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(root) if root else None,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def workload_signature(data: Any, meta: Optional[Dict[str, Any]] = None) -> str:
+    """Stable hash identifying *what* was measured (not the measurements).
+
+    Uses the declared workload parameters when the bench provides them
+    (``meta["workload"]``), plus the shape of the data: the sorted column
+    names and each row's key value (the first non-numeric field, else the
+    first field) — so changing sweep sizes or columns changes the
+    signature while changed measurements do not.
+    """
+    shape: List[Any] = []
+    if isinstance(data, list):
+        for row in data:
+            if isinstance(row, dict) and row:
+                shape.append([sorted(row.keys()), row_key(row)])
+    basis = {
+        "workload": (meta or {}).get("workload"),
+        "shape": shape,
+    }
+    blob = json.dumps(basis, sort_keys=True, default=repr)
+    return hashlib.sha1(blob.encode()).hexdigest()[:12]
+
+
+def row_key(row: Dict[str, Any]) -> str:
+    """Alignment key for one data row.
+
+    The first non-numeric field names the row (``scheme=this-paper``,
+    ``style=bfs``); failing that the first field's value (``n=250``).
+    """
+    for field, value in row.items():
+        if isinstance(value, str):
+            return f"{field}={value}"
+    for field, value in row.items():
+        return f"{field}={value}"
+    return "row"
+
+
+def make_entry(
+    name: str,
+    data: Any,
+    meta: Optional[Dict[str, Any]] = None,
+    *,
+    sha: Optional[str] = None,
+    run_id: Optional[str] = None,
+    package_version: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Build one trajectory entry (also the ``results/<name>.json`` payload)."""
+    if package_version is None:
+        from .. import __version__ as package_version  # type: ignore
+    return {
+        "name": name,
+        "created_unix": round(time.time(), 3),
+        "package_version": package_version,
+        "git_sha": sha,
+        "run_id": run_id or uuid.uuid4().hex[:12],
+        "workload_sig": workload_signature(data, meta),
+        "meta": meta or {},
+        "data": data,
+    }
+
+
+def _legacy_entry(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap a PR-1 single-snapshot payload as one trajectory entry."""
+    entry = dict(payload)
+    entry.setdefault("git_sha", None)
+    entry.setdefault("run_id", "legacy")
+    entry.setdefault(
+        "workload_sig",
+        workload_signature(payload.get("data"), payload.get("meta")),
+    )
+    return entry
+
+
+def load_trajectory(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load ``BENCH_<name>.json`` in either schema; absent file -> empty."""
+    path = Path(path)
+    if not path.exists():
+        return {"schema": TRAJECTORY_SCHEMA, "name": path.stem, "entries": []}
+    doc = json.loads(path.read_text())
+    if isinstance(doc, dict) and "entries" in doc:
+        return doc
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "name": doc.get("name", path.stem),
+        "entries": [_legacy_entry(doc)],
+    }
+
+
+def append_entry(
+    path: Union[str, Path],
+    entry: Dict[str, Any],
+    *,
+    max_entries: int = 200,
+) -> Dict[str, Any]:
+    """Append ``entry`` to the trajectory at ``path``, idempotently.
+
+    Existing entries with the same non-None ``git_sha``, or the same
+    ``run_id``, are replaced (re-running a bench on one commit keeps one
+    entry).  The oldest entries beyond ``max_entries`` are dropped.
+    Returns the written trajectory document.
+    """
+    path = Path(path)
+    traj = load_trajectory(path)
+    traj["schema"] = TRAJECTORY_SCHEMA
+    traj["name"] = entry.get("name", traj.get("name"))
+    sha = entry.get("git_sha")
+    run_id = entry.get("run_id")
+    entries = [
+        e for e in traj.get("entries", [])
+        if not ((sha is not None and e.get("git_sha") == sha)
+                or (run_id is not None and e.get("run_id") == run_id))
+    ]
+    entries.append(entry)
+    traj["entries"] = entries[-max_entries:]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(traj, indent=2, default=repr) + "\n")
+    return traj
+
+
+def baseline_entry(
+    traj: Dict[str, Any],
+    current: Optional[Dict[str, Any]] = None,
+) -> Optional[Dict[str, Any]]:
+    """The entry regressions are judged against.
+
+    The newest entry that is not the current run (different run id *and*
+    different git SHA when the current one is known) and whose workload
+    signature matches — None when no comparable history exists.
+    """
+    entries = traj.get("entries", [])
+    cur_sha = (current or {}).get("git_sha")
+    cur_run = (current or {}).get("run_id")
+    cur_sig = (current or {}).get("workload_sig")
+    for entry in reversed(entries):
+        if cur_run is not None and entry.get("run_id") == cur_run:
+            continue
+        if cur_sha is not None and entry.get("git_sha") == cur_sha:
+            continue
+        if cur_sig is not None and entry.get("workload_sig") not in (None,
+                                                                     cur_sig):
+            continue
+        return entry
+    return None

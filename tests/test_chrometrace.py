@@ -1,0 +1,166 @@
+"""Tests for the Chrome trace_event export (repro.telemetry.chrometrace)."""
+
+import json
+
+import pytest
+
+from repro.congest import Network
+from repro.graphs import random_connected_graph
+from repro.telemetry import (
+    attach_flight_recorder,
+    collect,
+    span,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _spans_with_work():
+    """A small real span tree with round counters attached."""
+    with collect() as tele:
+        with span("build"):
+            net = Network(random_connected_graph(10, seed=2))
+            with span("chat"):
+                nodes = sorted(net.nodes())
+                u, w = nodes[0], next(net.neighbors(nodes[0]))
+                for _ in range(4):
+                    net.send(u, w, "ping")
+                    net.tick()
+            with span("charge"):
+                net.charge_rounds(7)
+    return tele.span_dicts()
+
+
+class TestExport:
+    def test_roundtrip_through_json(self, tmp_path):
+        spans = _spans_with_work()
+        path = write_chrome_trace(tmp_path / "t.json", spans)
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+
+    def test_balanced_b_e_pairs(self):
+        doc = to_chrome_trace(_spans_with_work())
+        b = [e for e in doc["traceEvents"] if e["ph"] == "B"]
+        e = [e for e in doc["traceEvents"] if e["ph"] == "E"]
+        assert len(b) == len(e) == 3
+        assert {ev["name"] for ev in b} == {"build", "chat", "charge"}
+
+    def test_timestamps_monotone_per_track(self):
+        doc = to_chrome_trace(_spans_with_work())
+        seen = {}
+        for ev in doc["traceEvents"]:
+            if ev["ph"] == "M":
+                continue
+            track = (ev["pid"], ev.get("tid"))
+            assert ev["ts"] >= seen.get(track, float("-inf"))
+            seen[track] = ev["ts"]
+
+    def test_counter_tracks_accumulate_rounds(self):
+        doc = to_chrome_trace(_spans_with_work())
+        rounds = [e for e in doc["traceEvents"]
+                  if e["ph"] == "C" and e["name"] == "congest.rounds"]
+        assert rounds
+        values = [e["args"]["rounds"] for e in rounds]
+        assert values == sorted(values)
+        assert values[-1] == 4
+
+    def test_nesting_preserved(self):
+        doc = to_chrome_trace(_spans_with_work())
+        order = [(e["ph"], e["name"]) for e in doc["traceEvents"]
+                 if e["ph"] in "BE"]
+        assert order.index(("B", "build")) < order.index(("B", "chat"))
+        assert order.index(("E", "chat")) < order.index(("E", "build"))
+
+    def test_legacy_spans_without_t0_laid_out_sequentially(self):
+        spans = [
+            {"name": "a", "wall_s": 1.0, "counters": {}, "children": []},
+            {"name": "b", "wall_s": 2.0, "counters": {}, "children": []},
+        ]
+        doc = to_chrome_trace(spans)
+        assert validate_chrome_trace(doc) == []
+        b_events = {e["name"]: e["ts"] for e in doc["traceEvents"]
+                    if e["ph"] == "B"}
+        assert b_events["b"] == pytest.approx(1.0 * 1e6)
+
+    def test_flight_counter_tracks(self):
+        net = Network(random_connected_graph(8, seed=6))
+        rec = attach_flight_recorder(net, stride=1)
+        nodes = sorted(net.nodes())
+        for r in range(3):
+            net.mem(nodes[0]).store("tree/x", r + 1)
+            net.send(nodes[0], next(net.neighbors(nodes[0])), "m")
+            net.tick()
+        doc = to_chrome_trace([], flight=rec.to_dict())
+        assert validate_chrome_trace(doc) == []
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "C"}
+        assert {"flight.traffic", "flight.memory",
+                "flight.memory_by_prefix"} <= names
+        # flight clock is the simulated round index
+        traffic_ts = [e["ts"] for e in doc["traceEvents"]
+                      if e.get("name") == "flight.traffic"]
+        assert traffic_ts == [1.0, 2.0, 3.0]
+
+    def test_multiple_flight_recorders_get_own_pids(self):
+        payload = {"samples": [{"round": 1, "messages": 1, "words": 1,
+                                "mem_current_max": 0,
+                                "mem_high_water_max": 0, "prefixes": {}}]}
+        doc = to_chrome_trace([], flight=[payload, dict(payload)])
+        pids = {e["pid"] for e in doc["traceEvents"]
+                if e.get("name") == "flight.traffic"}
+        assert pids == {2, 3}
+
+
+class TestValidator:
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == [
+            "traceEvents missing or not a list"
+        ]
+
+    def test_rejects_unknown_phase(self):
+        doc = {"traceEvents": [{"ph": "Z", "pid": 1, "ts": 0}]}
+        assert any("unknown ph" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_decreasing_ts(self):
+        doc = {"traceEvents": [
+            {"ph": "B", "name": "a", "pid": 1, "tid": 1, "ts": 5},
+            {"ph": "E", "name": "a", "pid": 1, "tid": 1, "ts": 3},
+        ]}
+        assert any("decreases" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_unbalanced_spans(self):
+        doc = {"traceEvents": [
+            {"ph": "B", "name": "a", "pid": 1, "tid": 1, "ts": 0},
+        ]}
+        assert any("unclosed" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_mismatched_close(self):
+        doc = {"traceEvents": [
+            {"ph": "B", "name": "a", "pid": 1, "tid": 1, "ts": 0},
+            {"ph": "E", "name": "b", "pid": 1, "tid": 1, "ts": 1},
+        ]}
+        assert any("closes" in p for p in validate_chrome_trace(doc))
+
+
+class TestCli:
+    def test_trace_chrome_flag_writes_valid_file(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "trace.json"
+        code = main(["trace", "fig1_tree_rounds", "--chrome", str(out),
+                     "--quiet"])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["traceEvents"]
+
+    def test_trace_flight_embeds_flight_payloads(self, tmp_path):
+        from repro.__main__ import main
+
+        out = tmp_path / "rec.json"
+        code = main(["trace", "tree-rounds", "--flight", "--stride", "8",
+                     "--quiet", "--out", str(out)])
+        assert code == 0
+        rec = json.loads(out.read_text())
+        assert rec["flight"]
+        assert all(f["rounds_seen"] > 0 for f in rec["flight"])

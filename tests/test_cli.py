@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.__main__ import FIGURES, build_parser, main
+from repro.__main__ import FIGURE_ALIASES, FIGURES, build_parser, main
 
 
 class TestParser:
@@ -26,6 +26,23 @@ class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_bench_aliases_accepted(self):
+        args = build_parser().parse_args(["fig", "fig1_tree_rounds"])
+        assert args.name == "fig1_tree_rounds"
+
+    def test_aliases_cover_every_figure(self):
+        assert sorted(FIGURE_ALIASES.values()) == sorted(FIGURES)
+
+    def test_trace_flight_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "stretch", "--flight", "--stride", "4"])
+        assert args.flight and args.stride == 4
+
+    def test_dashboard_defaults(self):
+        args = build_parser().parse_args(["dashboard"])
+        assert args.out == "dashboard.html"
+        assert args.record == []
 
 
 class TestExecution:
@@ -92,6 +109,14 @@ class TestTelemetrySurfaces:
         out = capsys.readouterr().out
         assert "this-paper" in out  # rendered table still present
         assert "congest/bfs" in out  # plus the span tree
+
+    def test_fig_accepts_bench_alias(self, tmp_path):
+        target = tmp_path / "fig.json"
+        code = main(["fig", "fig9_tree_styles", "--json", "--quiet",
+                     "--out", str(target)])
+        assert code == 0
+        rows = json.loads(target.read_text())
+        assert rows and "style" in rows[0]
 
     def test_report_json(self, capsys):
         assert main(["report", "--fast", "--json", "--strict"]) == 0

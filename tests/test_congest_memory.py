@@ -101,3 +101,43 @@ class TestInspection:
         meter.store("relay/buf", 10)
         meter.store("algo/x", 3)
         assert meter.high_water_excluding("relay/") == 3
+
+
+class TestSnapshot:
+    def test_groups_by_first_slash_segment(self):
+        meter = MemoryMeter()
+        meter.store("tree/ancestors", 3)
+        meter.store("tree/labels", 2)
+        meter.store("relay/buf", 5)
+        assert meter.snapshot() == {"tree/": 5, "relay/": 5}
+
+    def test_slashless_key_groups_under_itself(self):
+        meter = MemoryMeter()
+        meter.store("scratch", 4)
+        assert meter.snapshot() == {"scratch": 4}
+
+    def test_prefix_returns_exact_keys(self):
+        meter = MemoryMeter()
+        meter.store("tree/ancestors", 3)
+        meter.store("tree/labels", 2)
+        meter.store("relay/buf", 5)
+        assert meter.snapshot("tree/") == {
+            "tree/ancestors": 3, "tree/labels": 2}
+
+    def test_prefix_without_matches_is_empty(self):
+        meter = MemoryMeter()
+        meter.store("a", 1)
+        assert meter.snapshot("missing/") == {}
+
+    def test_snapshot_tracks_frees(self):
+        meter = MemoryMeter()
+        meter.store("tree/a", 3)
+        meter.free("tree/a")
+        assert meter.snapshot() == {}
+
+    def test_snapshot_sums_match_current(self):
+        meter = MemoryMeter()
+        meter.store("tree/a", 3)
+        meter.store("hopset/b", 7)
+        meter.store("loose", 2)
+        assert sum(meter.snapshot().values()) == meter.current

@@ -1,0 +1,175 @@
+"""Tests for the perf-regression gate (repro.telemetry.regress)."""
+
+import json
+
+import pytest
+
+from repro.telemetry.regress import (
+    Tolerances,
+    classify,
+    compare_payload,
+    compare_rows,
+    main,
+)
+from repro.telemetry.trajectory import make_entry
+
+
+def _entry(rows, *, sha="base", name="t"):
+    return make_entry(name, rows, {"workload": {"n": 10}}, sha=sha,
+                      package_version="1")
+
+
+ROWS = [{"scheme": "this-paper", "rounds": 100, "words": 40,
+         "wall_s": 1.5, "coverage": 0.90}]
+
+
+class TestClassify:
+    def test_hard_metrics(self):
+        for m in ("rounds", "message_words", "memory_words", "table_words",
+                  "stretch_max", "tree_size"):
+            assert classify(m) == "hard"
+
+    def test_soft_metrics(self):
+        for m in ("wall_s", "created_unix", "peak_rss_kb", "build_time"):
+            assert classify(m) == "soft"
+
+    def test_sqrt_is_not_soft(self):
+        # regression guard: "_s" once matched rounds_per_sqrt_n
+        assert classify("rounds_per_sqrt_n_log2") == "hard"
+
+    def test_other(self):
+        assert classify("coverage") == "other"
+
+
+class TestCompare:
+    def test_identical_rows_pass(self):
+        report = compare_payload(_entry(ROWS, sha="b"), _entry(ROWS))
+        assert report.passed
+        assert report.status == "pass"
+
+    def test_inflated_hard_metric_fails(self):
+        worse = [dict(ROWS[0], rounds=150)]
+        report = compare_payload(_entry(worse, sha="b"), _entry(ROWS))
+        assert not report.passed
+        [fail] = report.failures
+        assert (fail.metric, fail.baseline, fail.current) == (
+            "rounds", 100.0, 150.0)
+
+    def test_improvement_reported_not_failed(self):
+        better = [dict(ROWS[0], rounds=80)]
+        report = compare_payload(_entry(better, sha="b"), _entry(ROWS))
+        assert report.passed
+        assert any(d.status == "improved" for d in report.deltas)
+
+    def test_exactly_at_tolerance_passes(self):
+        worse = [dict(ROWS[0], rounds=110)]
+        tol = Tolerances(hard_rel=0.10)
+        report = compare_payload(_entry(worse, sha="b"), _entry(ROWS), tol)
+        assert report.passed
+
+    def test_one_past_tolerance_fails(self):
+        worse = [dict(ROWS[0], rounds=111)]
+        tol = Tolerances(hard_rel=0.10)
+        report = compare_payload(_entry(worse, sha="b"), _entry(ROWS), tol)
+        assert not report.passed
+
+    def test_soft_metric_never_fails(self):
+        slower = [dict(ROWS[0], wall_s=99.0)]
+        report = compare_payload(_entry(slower, sha="b"), _entry(ROWS))
+        assert report.passed
+        assert any(d.status == "soft" and d.metric == "wall_s"
+                   for d in report.deltas)
+
+    def test_other_metric_warns_on_drift(self):
+        drifted = [dict(ROWS[0], coverage=0.80)]
+        report = compare_payload(_entry(drifted, sha="b"), _entry(ROWS))
+        assert report.passed  # warn, not fail
+        assert report.status == "warn"
+
+    def test_missing_baseline_is_reported_not_failed(self):
+        report = compare_payload(_entry(ROWS), None)
+        assert report.passed
+        assert report.note == "no comparable baseline"
+        assert report.deltas == []
+
+    def test_workload_change_skips_comparison(self):
+        cur = _entry(ROWS, sha="b")
+        base = make_entry("t", ROWS, {"workload": {"n": 99}}, sha="a",
+                          package_version="1")
+        report = compare_payload(cur, base)
+        assert report.passed
+        assert "workload changed" in report.note
+
+    def test_new_metric_reported_not_failed(self):
+        richer = [dict(ROWS[0], depth=7)]
+        deltas = compare_rows(richer, ROWS)
+        new = [d for d in deltas if d.status == "new"]
+        assert [d.metric for d in new] == ["depth"]
+        assert not any(d.status == "fail" for d in deltas)
+
+    def test_dropped_metric_and_row_reported(self):
+        deltas = compare_rows(
+            [{"scheme": "this-paper", "rounds": 100}],
+            ROWS + [{"scheme": "other", "rounds": 5}],
+        )
+        gone = {(d.row, d.metric) for d in deltas if d.status == "gone"}
+        assert ("scheme=this-paper", "words") in gone
+        assert ("scheme=other", "*") in gone
+
+    def test_render_mentions_failures(self):
+        worse = [dict(ROWS[0], rounds=150)]
+        report = compare_payload(_entry(worse, sha="b"), _entry(ROWS))
+        text = report.render()
+        assert "FAIL" in text and "rounds" in text
+
+
+class TestCliGate:
+    def _write(self, root, rows, *, current_rows=None, name="t"):
+        """A trajectory with one baseline entry + a current results payload."""
+        base = _entry(rows, sha="base", name=name)
+        (root / f"BENCH_{name}.json").write_text(json.dumps(
+            {"schema": 2, "name": name, "entries": [base]}))
+        results = root / "benchmarks" / "results"
+        results.mkdir(parents=True, exist_ok=True)
+        cur = _entry(current_rows if current_rows is not None else rows,
+                     sha="head", name=name)
+        (results / f"{name}.json").write_text(json.dumps(cur))
+        return results
+
+    def test_enforce_fails_on_inflated_rounds(self, tmp_path, capsys):
+        worse = [dict(ROWS[0], rounds=200)]
+        results = self._write(tmp_path, ROWS, current_rows=worse)
+        code = main(["--root", str(tmp_path), "--results", str(results),
+                     "--mode", "enforce"])
+        assert code != 0
+        assert "perf regression" in capsys.readouterr().err
+
+    def test_warn_mode_reports_but_exits_zero(self, tmp_path, capsys):
+        worse = [dict(ROWS[0], rounds=200)]
+        results = self._write(tmp_path, ROWS, current_rows=worse)
+        code = main(["--root", str(tmp_path), "--results", str(results),
+                     "--mode", "warn"])
+        assert code == 0
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        results = self._write(tmp_path, ROWS)
+        code = main(["--root", str(tmp_path), "--results", str(results)])
+        assert code == 0
+        assert "0 fail" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        results = self._write(tmp_path, ROWS)
+        code = main(["--root", str(tmp_path), "--results", str(results),
+                     "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["passed"] is True
+        assert doc["reports"][0]["name"] == "t"
+
+    def test_tolerance_flags_forwarded(self, tmp_path):
+        worse = [dict(ROWS[0], rounds=101)]
+        results = self._write(tmp_path, ROWS, current_rows=worse)
+        assert main(["--root", str(tmp_path), "--results", str(results),
+                     "--hard-abs", "1"]) == 0
+        assert main(["--root", str(tmp_path), "--results", str(results)]) == 1

@@ -1,0 +1,129 @@
+"""Tests for the BENCH_*.json perf-trajectory store."""
+
+import json
+
+from repro.telemetry.trajectory import (
+    TRAJECTORY_SCHEMA,
+    append_entry,
+    baseline_entry,
+    load_trajectory,
+    make_entry,
+    row_key,
+    workload_signature,
+)
+
+ROWS = [
+    {"scheme": "this-paper", "rounds": 100, "words": 40},
+    {"scheme": "baseline", "rounds": 250, "words": 12},
+]
+
+
+class TestEntries:
+    def test_make_entry_fields(self):
+        e = make_entry("t", ROWS, {"workload": {"n": 100}}, sha="abc",
+                       package_version="1.0")
+        assert e["name"] == "t"
+        assert e["git_sha"] == "abc"
+        assert len(e["run_id"]) == 12
+        assert e["workload_sig"] == workload_signature(
+            ROWS, {"workload": {"n": 100}})
+
+    def test_signature_tracks_workload_not_measurements(self):
+        bigger = [dict(r, rounds=r["rounds"] * 2) for r in ROWS]
+        assert workload_signature(ROWS) == workload_signature(bigger)
+        extra = ROWS + [{"scheme": "third", "rounds": 1, "words": 1}]
+        assert workload_signature(ROWS) != workload_signature(extra)
+        assert (workload_signature(ROWS, {"workload": {"n": 1}})
+                != workload_signature(ROWS, {"workload": {"n": 2}}))
+
+    def test_row_key_prefers_string_field(self):
+        assert row_key({"n": 5, "scheme": "x"}) == "scheme=x"
+        assert row_key({"n": 5, "rounds": 9}) == "n=5"
+
+
+class TestLoad:
+    def test_missing_file_is_empty_trajectory(self, tmp_path):
+        traj = load_trajectory(tmp_path / "BENCH_x.json")
+        assert traj["entries"] == []
+
+    def test_legacy_single_object_wraps_as_one_entry(self, tmp_path):
+        legacy = {"name": "t", "created_unix": 1.0,
+                  "package_version": "0.1", "meta": {}, "data": ROWS}
+        path = tmp_path / "BENCH_t.json"
+        path.write_text(json.dumps(legacy))
+        traj = load_trajectory(path)
+        assert len(traj["entries"]) == 1
+        entry = traj["entries"][0]
+        assert entry["run_id"] == "legacy"
+        assert entry["workload_sig"] == workload_signature(ROWS, {})
+        assert entry["data"] == ROWS
+
+
+class TestAppend:
+    def test_append_accumulates(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        append_entry(path, make_entry("t", ROWS, sha="a", package_version="1"))
+        append_entry(path, make_entry("t", ROWS, sha="b", package_version="1"))
+        traj = load_trajectory(path)
+        assert traj["schema"] == TRAJECTORY_SCHEMA
+        assert [e["git_sha"] for e in traj["entries"]] == ["a", "b"]
+
+    def test_same_sha_replaces_not_duplicates(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        append_entry(path, make_entry("t", ROWS, sha="a", package_version="1"))
+        newer = make_entry("t", ROWS, sha="a", package_version="2")
+        append_entry(path, newer)
+        traj = load_trajectory(path)
+        assert len(traj["entries"]) == 1
+        assert traj["entries"][0]["run_id"] == newer["run_id"]
+
+    def test_same_run_id_replaces(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        e = make_entry("t", ROWS, sha=None, run_id="r1", package_version="1")
+        append_entry(path, e)
+        append_entry(path, dict(e))
+        assert len(load_trajectory(path)["entries"]) == 1
+
+    def test_none_sha_never_matches_none_sha(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        append_entry(path, make_entry("t", ROWS, package_version="1"))
+        append_entry(path, make_entry("t", ROWS, package_version="1"))
+        assert len(load_trajectory(path)["entries"]) == 2
+
+    def test_max_entries_drops_oldest(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        for i in range(5):
+            append_entry(path, make_entry("t", ROWS, sha=f"s{i}",
+                                          package_version="1"),
+                         max_entries=3)
+        shas = [e["git_sha"] for e in load_trajectory(path)["entries"]]
+        assert shas == ["s2", "s3", "s4"]
+
+
+class TestBaseline:
+    def test_newest_comparable_entry_wins(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        old = make_entry("t", ROWS, sha="old", package_version="1")
+        new = make_entry("t", ROWS, sha="new", package_version="1")
+        append_entry(path, old)
+        append_entry(path, new)
+        cur = make_entry("t", ROWS, sha="head", package_version="1")
+        base = baseline_entry(load_trajectory(path), cur)
+        assert base["git_sha"] == "new"
+
+    def test_current_sha_and_run_are_skipped(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        cur = make_entry("t", ROWS, sha="head", package_version="1")
+        append_entry(path, cur)
+        assert baseline_entry(load_trajectory(path), cur) is None
+
+    def test_mismatched_workload_sig_skipped(self, tmp_path):
+        path = tmp_path / "BENCH_t.json"
+        other = make_entry("t", ROWS + [{"scheme": "x", "rounds": 1}],
+                           sha="a", package_version="1")
+        append_entry(path, other)
+        cur = make_entry("t", ROWS, sha="b", package_version="1")
+        assert baseline_entry(load_trajectory(path), cur) is None
+
+    def test_empty_history_gives_none(self):
+        assert baseline_entry({"entries": []}, None) is None
