@@ -3,7 +3,10 @@
 Public surface:
 
 * :class:`~repro.congest.network.Network` -- the round-synchronous simulator
-  with per-edge capacity, message word limits, and per-vertex memory meters;
+  with per-edge capacity, message word limits, and per-vertex memory meters
+  (the fast-path engine: CSR adjacency, cached port tables, batched sends);
+* :class:`~repro.congest.reference.ReferenceNetwork` -- the frozen seed
+  engine, kept as the oracle for the differential harness;
 * :class:`~repro.congest.memory.MemoryMeter` -- per-vertex word accounting;
 * :class:`~repro.congest.message.Message`;
 * :func:`~repro.congest.bfs.build_bfs_tree` / :class:`~repro.congest.bfs.BfsTree`;
@@ -22,6 +25,7 @@ from .message import Message
 from .metrics import PhaseRecord, RunMetrics
 from .network import Network
 from .primitives import Forest, convergecast_up, flood_down
+from .reference import ReferenceNetwork
 from .protocol import (
     BfsProgram,
     FloodMax,
@@ -49,6 +53,7 @@ __all__ = [
     "Message",
     "Network",
     "PhaseRecord",
+    "ReferenceNetwork",
     "RunMetrics",
     "broadcast_all",
     "build_bfs_tree",

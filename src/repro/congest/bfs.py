@@ -16,7 +16,7 @@ O(1) words.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..errors import InvariantViolation
 from ..telemetry import events as _tele
@@ -67,17 +67,26 @@ def build_bfs_tree(net: Network, root: Optional[NodeId] = None) -> BfsTree:
         frontier = [root]
         while frontier:
             for u in frontier:
-                for w in net.ports(u):
-                    if w not in parent:
-                        net.send(u, w, "bfs")
-            inboxes = net.tick()
-            next_frontier: List[NodeId] = []
-            for v, msgs in inboxes.items():
+                net.send_many(
+                    u, [w for w in net.ports(u) if w not in parent], "bfs"
+                )
+            # Flat delivery: pick each vertex's first sender in repr order
+            # without building per-destination inboxes.  ``best`` keeps
+            # first-arrival insertion order, matching the inbox order the
+            # seed engine iterated.
+            best: Dict[NodeId, Tuple[str, NodeId]] = {}
+            for msg in net.deliver_batch():
+                v = msg.dst
                 if v in parent:
                     continue
-                chosen = min(msgs, key=lambda m: repr(m.src))
-                parent[v] = chosen.src
-                depth[v] = depth[chosen.src] + 1
+                key = repr(msg.src)
+                cur = best.get(v)
+                if cur is None or key < cur[0]:
+                    best[v] = (key, msg.src)
+            next_frontier: List[NodeId] = []
+            for v, (_, chosen) in best.items():
+                parent[v] = chosen
+                depth[v] = depth[chosen] + 1
                 net.mem(v).store("bfs/parent", 2)
                 next_frontier.append(v)
             frontier = next_frontier

@@ -60,10 +60,12 @@ def broadcast_all(
     """
     height = bfs.height
     slots = 0
+    total_words = 0
     for _, payload in items:
-        slots += max(1, math.ceil(words_of(payload) / net.message_word_limit))
+        words = words_of(payload)
+        total_words += words
+        slots += max(1, math.ceil(words / net.message_word_limit))
     rounds = 2 * (slots + height)
-    total_words = sum(words_of(p) for _, p in items)
     with _tele.span("congest/broadcast", phase=phase, items=len(items)):
         net.begin_phase(phase)
         # Transit buffers on the pipeline: O(log n) words per relay vertex,

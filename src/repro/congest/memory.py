@@ -17,6 +17,18 @@ Conventions used across the library:
   storage as long as nothing is retained between rounds.  Relay queues that
   persist across rounds (pipelined broadcast buffers) ARE charged, under the
   ``"relay/"`` prefix, and can be reported separately.
+
+Prefix index
+------------
+Stage teardown (:meth:`free_prefix`, ``Network.free_all``) used to scan
+every live key at every vertex.  The meter now maintains a *group index* --
+keys bucketed by their first slash segment, the same grouping
+:meth:`snapshot` reports -- so freeing a slash-qualified prefix like
+``"tree/"`` or ``"hopset/scratch-"`` only examines the keys of that one
+group, not everything the vertex ever stored.  ``last_prefix_scan`` exposes
+how many keys the most recent :meth:`free_prefix` examined; the regression
+test in ``tests/test_congest_memory.py`` pins that teardown cost no longer
+scales with the total live key count.
 """
 
 from __future__ import annotations
@@ -26,15 +38,30 @@ from typing import Dict, Iterable, Optional, Tuple
 from ..errors import MemoryAccountingError
 
 
+def _group_of(key: str) -> str:
+    """The index bucket of ``key``: its first slash segment (incl. the
+    slash), or the whole key when it has none -- mirroring
+    :meth:`MemoryMeter.snapshot`'s grouping."""
+    head, sep, _ = key.partition("/")
+    return head + "/" if sep else head
+
+
 class MemoryMeter:
     """Tracks the words a single vertex retains, with a high-water mark."""
 
-    __slots__ = ("_items", "_current", "_high_water")
+    __slots__ = ("_items", "_groups", "_current", "_high_water",
+                 "last_prefix_scan")
 
     def __init__(self) -> None:
         self._items: Dict[str, int] = {}
+        #: Group index: first slash segment -> ordered set of live keys
+        #: (a dict used as an insertion-ordered set).
+        self._groups: Dict[str, Dict[str, None]] = {}
         self._current = 0
         self._high_water = 0
+        #: Keys examined by the most recent :meth:`free_prefix` call
+        #: (test probe for the teardown-cost regression pin).
+        self.last_prefix_scan = 0
 
     # -- mutation -----------------------------------------------------------
 
@@ -45,7 +72,10 @@ class MemoryMeter:
         """
         if words < 0:
             raise MemoryAccountingError(f"negative store of {words} words for {key!r}")
-        previous = self._items.get(key, 0)
+        previous = self._items.get(key)
+        if previous is None:
+            previous = 0
+            self._groups.setdefault(_group_of(key), {})[key] = None
         self._items[key] = words
         self._current += words - previous
         if self._current > self._high_water:
@@ -64,10 +94,33 @@ class MemoryMeter:
         previous = self._items.pop(key, None)
         if previous is not None:
             self._current -= previous
+            group = _group_of(key)
+            members = self._groups.get(group)
+            if members is not None:
+                members.pop(key, None)
+                if not members:
+                    del self._groups[group]
 
     def free_prefix(self, prefix: str) -> None:
-        """Release every key starting with ``prefix`` (stage teardown)."""
-        for key in [k for k in self._items if k.startswith(prefix)]:
+        """Release every key starting with ``prefix`` (stage teardown).
+
+        A prefix containing a slash (``"tree/"``, ``"hopset/scratch-"``)
+        resolves through the group index: only the live keys of that
+        prefix's first-segment group are examined.  A slash-free prefix
+        may span groups and falls back to a full key scan.
+        """
+        slash = prefix.find("/")
+        if slash >= 0:
+            members = self._groups.get(prefix[: slash + 1])
+            if members is None:
+                self.last_prefix_scan = 0
+                return
+            self.last_prefix_scan = len(members)
+            matches = [k for k in members if k.startswith(prefix)]
+        else:
+            self.last_prefix_scan = len(self._items)
+            matches = [k for k in self._items if k.startswith(prefix)]
+        for key in matches:
             self.free(key)
 
     # -- inspection ----------------------------------------------------------
@@ -100,13 +153,12 @@ class MemoryMeter:
         (``snapshot("tree/")`` -> ``{"tree/ancestors": 3, ...}``).
         """
         out: Dict[str, int] = {}
+        items = self._items
         if prefix is None:
-            for key, words in self._items.items():
-                head, sep, _ = key.partition("/")
-                group = head + "/" if sep else head
-                out[group] = out.get(group, 0) + words
+            for group, members in self._groups.items():
+                out[group] = sum(items[k] for k in members)
         else:
-            for key, words in self._items.items():
+            for key, words in items.items():
                 if key.startswith(prefix):
                     out[key] = words
         return out

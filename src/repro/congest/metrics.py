@@ -109,6 +109,27 @@ class RunMetrics:
             "phases": [p.to_dict() for p in self.phases],
         }
 
+    def fingerprint(self) -> tuple:
+        """Hashable canonical form: every counter plus the full phase log.
+
+        Two runs with equal fingerprints executed the same number of
+        simulated and charged rounds, moved the same traffic, and
+        attributed it to the same phases in the same order — the equality
+        the differential engine harness (``tests/differential/``) asserts
+        between the fast path and the reference simulator.
+        """
+        return (
+            self.rounds,
+            self.charged_rounds,
+            self.messages,
+            self.message_words,
+            tuple(
+                (p.name, p.rounds, p.charged_rounds, p.messages,
+                 p.message_words)
+                for p in self.phases
+            ),
+        )
+
     def summary(self) -> str:
         lines = [
             f"rounds={self.rounds} charged={self.charged_rounds} "

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Sequence
 
 from ..errors import InputError
+from ..wordsize import words_of
 from .memory import MemoryMeter
 from .message import Message
 from .network import Network
@@ -47,20 +48,24 @@ class NodeApi:
         self._net = net
         self.id = node
         self.ports: List[NodeId] = net.ports(node)
+        self._port_set = frozenset(self.ports)
         self.memory: MemoryMeter = net.mem(node)
         self._outgoing: List[Message] = []
         self.halted = False
 
     def send(self, to: NodeId, kind: str, payload: Any = None) -> None:
         """Queue a message to a neighbour for the next round."""
-        if to not in self.ports:
+        if to not in self._port_set:
             raise InputError(f"{self.id!r} has no port to {to!r}")
         self._outgoing.append(Message(src=self.id, dst=to, kind=kind, payload=payload))
 
     def broadcast(self, kind: str, payload: Any = None) -> None:
-        """Send the same message on every port."""
+        """Send the same message on every port (payload sized once)."""
+        words = words_of(payload)
+        out = self._outgoing
+        src = self.id
         for neighbour in self.ports:
-            self.send(neighbour, kind, payload)
+            out.append(Message(src, neighbour, kind, payload, words))
 
     def halt(self) -> None:
         """Stop participating; ``on_round`` will not be called again."""
@@ -126,7 +131,7 @@ def run_protocol(
         outgoing = 0
         for api in apis.values():
             for msg in api._drain():
-                net.send(msg.src, msg.dst, msg.kind, msg.payload)
+                net.send_message(msg)
                 outgoing += 1
         inboxes = net.tick()
         rounds += 1

@@ -1,0 +1,11 @@
+"""Differential tests: the fast-path engine vs the reference simulator.
+
+The :class:`repro.congest.network.Network` fast path is certified by
+replaying identical workloads on it and on
+:class:`repro.congest.reference.ReferenceNetwork` (the frozen seed engine)
+and asserting every observable output matches — metrics, per-edge traffic,
+memory high-waters, trace timelines, and byte-identical ``strict``
+violations.  See ``docs/performance.md``.
+
+Set ``REPRO_DIFF_QUICK=1`` to run a reduced seed matrix (CI smoke mode).
+"""

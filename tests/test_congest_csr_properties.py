@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for the fast engine's CSR compiler.
+
+Random connected weighted graphs — with deliberately mixed node-id types
+(ints and strings), since port order is defined by ``repr`` — are compiled
+by :class:`repro.congest.network.Network` and checked against the
+:mod:`networkx` graph itself as the reference:
+
+* ``neighbors`` / ``degree`` / ``weight`` / ``ports`` agree with the graph;
+* arc (directed-edge) ids are a bijection onto ``range(num_arcs)`` that
+  round-trips through ``edge_index`` / ``edge_endpoints`` and lines up
+  with CSR slot order;
+* ``compact_id`` / ``node_of`` are inverse bijections.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.congest import Network
+
+_REPR = repr
+
+
+@st.composite
+def connected_graphs(draw, min_size=2, max_size=40):
+    """A random connected weighted graph with mixed int/str vertex ids."""
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    relabel = draw(st.booleans())
+    graph = nx.Graph()
+    names = [f"v{i}" if relabel and i % 2 else i for i in range(n)]
+    graph.add_node(names[0])
+    # Random spanning tree by parent arrays, plus extra random chords.
+    for i in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        graph.add_edge(names[i], names[parent])
+    for _ in range(draw(st.integers(min_value=0, max_value=2 * n))):
+        u = names[draw(st.integers(min_value=0, max_value=n - 1))]
+        v = names[draw(st.integers(min_value=0, max_value=n - 1))]
+        if u != v:
+            graph.add_edge(u, v)
+    for u, v in graph.edges:
+        if draw(st.booleans()):
+            graph[u][v]["weight"] = draw(
+                st.floats(min_value=0.5, max_value=100.0,
+                          allow_nan=False, allow_infinity=False)
+            )
+    return graph
+
+
+@given(connected_graphs())
+@settings(max_examples=60, deadline=None)
+def test_adjacency_agrees_with_networkx(graph):
+    net = Network(graph)
+    for v in graph.nodes:
+        assert set(net.neighbors(v)) == set(graph.neighbors(v))
+        assert net.degree(v) == graph.degree(v)
+        for w in graph.neighbors(v):
+            assert net.has_edge(v, w)
+            assert net.weight(v, w) == float(graph[v][w].get("weight", 1.0))
+
+
+@given(connected_graphs())
+@settings(max_examples=60, deadline=None)
+def test_ports_are_repr_sorted_neighbors(graph):
+    net = Network(graph)
+    for v in graph.nodes:
+        assert net.ports(v) == sorted(graph.neighbors(v), key=_REPR)
+        assert list(net.neighbors(v)) == net.ports(v)
+
+
+@given(connected_graphs())
+@settings(max_examples=60, deadline=None)
+def test_arc_ids_are_a_bijection(graph):
+    net = Network(graph)
+    seen = set()
+    for v in graph.nodes:
+        for w in graph.neighbors(v):
+            arc = net.edge_index(v, w)
+            assert 0 <= arc < net.num_arcs
+            assert arc not in seen
+            seen.add(arc)
+            assert net.edge_endpoints(arc) == (v, w)
+    assert seen == set(range(net.num_arcs))
+    assert net.num_arcs == 2 * graph.number_of_edges()
+
+
+@given(connected_graphs())
+@settings(max_examples=60, deadline=None)
+def test_arc_ids_follow_csr_slot_order(graph):
+    net = Network(graph)
+    expected = 0
+    for v in net.nodes():
+        for w in net.ports(v):
+            assert net.edge_index(v, w) == expected
+            expected += 1
+    assert expected == net.num_arcs
+
+
+@given(connected_graphs())
+@settings(max_examples=60, deadline=None)
+def test_compact_ids_are_inverse_bijections(graph):
+    net = Network(graph)
+    ids = [net.compact_id(v) for v in net.nodes()]
+    assert sorted(ids) == list(range(net.n))
+    for v in net.nodes():
+        assert net.node_of(net.compact_id(v)) == v

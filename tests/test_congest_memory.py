@@ -141,3 +141,65 @@ class TestSnapshot:
         meter.store("hopset/b", 7)
         meter.store("loose", 2)
         assert sum(meter.snapshot().values()) == meter.current
+
+
+class TestPrefixIndexTeardownCost:
+    """The group index pins stage-teardown cost (docstring of
+    :mod:`repro.congest.memory`): freeing a slash-qualified prefix scans
+    only that group's live keys, regardless of how much else is stored."""
+
+    def test_free_prefix_scans_only_its_group(self):
+        meter = MemoryMeter()
+        for i in range(500):
+            meter.store(f"big/key-{i}", 1)
+        for i in range(3):
+            meter.store(f"t/key-{i}", 1)
+        meter.free_prefix("t/")
+        assert meter.last_prefix_scan == 3
+        assert meter.current == 500
+
+    def test_free_prefix_absent_group_scans_nothing(self):
+        meter = MemoryMeter()
+        for i in range(100):
+            meter.store(f"big/key-{i}", 1)
+        meter.free_prefix("gone/")
+        assert meter.last_prefix_scan == 0
+        assert meter.current == 100
+
+    def test_partial_prefix_within_group(self):
+        meter = MemoryMeter()
+        meter.store("hopset/scratch-1", 2)
+        meter.store("hopset/scratch-2", 2)
+        meter.store("hopset/keep", 5)
+        meter.free_prefix("hopset/scratch-")
+        assert meter.last_prefix_scan == 3  # the group, not all live keys
+        assert meter.current == 5
+        assert meter.snapshot("hopset/") == {"hopset/keep": 5}
+
+    def test_slashless_prefix_falls_back_to_full_scan(self):
+        meter = MemoryMeter()
+        meter.store("alpha", 1)
+        meter.store("beta", 1)
+        meter.store("tree/a", 1)
+        meter.free_prefix("al")
+        assert meter.last_prefix_scan == 3
+        assert meter.current == 2
+
+    def test_scan_cost_does_not_scale_with_other_groups(self):
+        meter = MemoryMeter()
+        for g in range(50):
+            for i in range(10):
+                meter.store(f"group{g}/k{i}", 1)
+        meter.store("tiny/only", 1)
+        meter.free_prefix("tiny/")
+        assert meter.last_prefix_scan == 1
+        assert meter.current == 500
+
+    def test_group_index_survives_free_and_restore(self):
+        meter = MemoryMeter()
+        meter.store("t/a", 1)
+        meter.free("t/a")
+        meter.store("t/b", 2)
+        meter.free_prefix("t/")
+        assert meter.last_prefix_scan == 1
+        assert meter.current == 0
