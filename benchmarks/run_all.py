@@ -38,6 +38,7 @@ import _util  # noqa: E402
 #: Fast benches (sub-second each at full workload) for CI smoke runs.
 QUICK = (
     "bench_fig_tree_rounds",
+    "bench_serve",
     "bench_sim_micro",
     "bench_table2",
 )

@@ -58,6 +58,7 @@ from .telemetry import (
     render_profile,
     write_chrome_trace,
 )
+from .serve.workloads import WORKLOADS
 from .telemetry import flight as _flight
 
 FIGURES = {
@@ -149,6 +150,35 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--stride", type=int, default=16,
                        help="flight-recorder sampling stride in rounds "
                             "(with --flight; default 16)")
+
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="serve a seeded query workload against a built scheme (S16)",
+    )
+    serve.add_argument("--workload", choices=list(WORKLOADS),
+                       default="uniform",
+                       help="traffic model (default: uniform)")
+    serve.add_argument("--queries", type=int, default=1000)
+    serve.add_argument("--n", type=int, default=200,
+                       help="graph size (random connected family)")
+    serve.add_argument("--k", type=int, default=3,
+                       help="hierarchy parameter of the built scheme")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--builder", choices=("centralized", "distributed"),
+                       default="centralized",
+                       help="scheme construction (default: centralized)")
+    serve.add_argument("--mode", choices=("first", "best"), default="first",
+                       help="source rule (default: first, the 4k-3 analysis)")
+    serve.add_argument("--cache", type=int, default=4096, metavar="SIZE",
+                       help="LRU decision-cache entries (0 disables)")
+    serve.add_argument("--zipf-alpha", type=float, default=1.1)
+    serve.add_argument("--slo-target", type=float, default=0.99,
+                       help="required fraction of queries within the "
+                            "stretch bound (default 0.99)")
+    serve.add_argument("--json", action="store_true",
+                       help="emit the serving RunRecord as JSON")
+    serve.add_argument("--strict", action="store_true",
+                       help="exit 1 if the stretch-SLO verdict fails")
 
     sub.add_parser("demo", parents=[common],
                    help="tiny end-to-end demonstration")
@@ -306,6 +336,50 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from .graphs import random_connected_graph
+    from .serve import run_serving, run_serving_recorded, slo_verdict
+
+    graph = random_connected_graph(args.n, seed=args.seed)
+    if args.builder == "centralized":
+        from .tz import build_centralized_scheme
+        scheme = build_centralized_scheme(graph, args.k, seed=args.seed)
+    else:
+        from .core import build_distributed_scheme
+        scheme = build_distributed_scheme(graph, args.k,
+                                          seed=args.seed).scheme
+
+    kwargs = dict(
+        workload=args.workload, queries=args.queries, seed=args.seed,
+        mode=args.mode, cache_size=args.cache, zipf_alpha=args.zipf_alpha,
+        slo_target=args.slo_target,
+    )
+    recorded = args.json or args.strict or args.profile
+    if recorded:
+        report, record = run_serving_recorded(scheme, graph, **kwargs)
+    else:
+        report, _ = run_serving(scheme, graph, **kwargs)
+        record = None
+
+    parts = []
+    if args.json:
+        parts.append(record.to_json())
+    else:
+        parts.append(report.render())
+    if args.profile and record is not None:
+        parts.append(render_profile(record.spans, record.counters,
+                                    record.gauges))
+    _deliver("\n\n".join(parts), args)
+    if args.strict:
+        verdict = slo_verdict(report)
+        if verdict is not None and not verdict.passed:
+            print(f"stretch-SLO violation: {verdict.name} "
+                  f"measured={verdict.measured} < target={verdict.limit}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in ("table1", "table2"):
@@ -314,6 +388,8 @@ def main(argv=None) -> int:
         return _run_fig(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "dashboard":
         root = Path(args.root) if args.root else _REPO_ROOT
         out = build_dashboard(

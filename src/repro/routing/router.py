@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 
@@ -160,10 +160,21 @@ class StretchReport:
 
 
 def sample_pairs(
-    nodes: Sequence[NodeId], count: int, seed: int = 0
+    nodes: Sequence[NodeId],
+    count: int,
+    seed: int = 0,
+    *,
+    rng: Optional[random.Random] = None,
 ) -> List[Tuple[NodeId, NodeId]]:
-    """A deterministic sample of distinct ordered vertex pairs."""
-    rng = random.Random(seed)
+    """A deterministic sample of distinct ordered vertex pairs.
+
+    Pass ``rng`` to draw from a caller-owned :class:`random.Random`
+    stream (``seed`` is then ignored): experiment drivers that compare
+    several schemes hand each measurement the same generator -- or the
+    same ``seed`` -- so every scheme is scored on the *identical* pair
+    sample and stretch deltas are never sampling noise.
+    """
+    rng = rng if rng is not None else random.Random(seed)
     nodes = list(nodes)
     pairs = []
     for _ in range(count):
@@ -175,11 +186,21 @@ def sample_pairs(
 def measure_stretch(
     scheme: GraphRoutingScheme,
     graph: nx.Graph,
-    pairs: Sequence[Tuple[NodeId, NodeId]],
+    pairs: Union[int, Sequence[Tuple[NodeId, NodeId]]],
     *,
     mode: str = "first",
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> StretchReport:
-    """Route every pair and compare against exact distances."""
+    """Route every pair and compare against exact distances.
+
+    ``pairs`` is either an explicit pair sequence (reuse one sample
+    across schemes for an apples-to-apples comparison) or an ``int``
+    count, in which case a deterministic sample is drawn here via
+    :func:`sample_pairs` with ``seed`` / ``rng``.
+    """
+    if isinstance(pairs, int):
+        pairs = sample_pairs(list(graph.nodes), pairs, seed, rng=rng)
     by_source: Dict[NodeId, List[NodeId]] = {}
     for u, v in pairs:
         by_source.setdefault(u, []).append(v)

@@ -1,0 +1,501 @@
+"""S16 batched query engine over packed routing tables.
+
+``ServeEngine.route`` answers one ``source -> target`` query against a
+:mod:`compiled <repro.serve.compile>` scheme; ``route_many`` answers a
+batch with the **count-and-continue** failure policy a serving tier needs
+(a ``RoutingFailure`` becomes a recorded :class:`ServeResult`, never an
+abort).  The engine is differentially tested against the reference
+simulator (``route_in_graph`` / ``route_in_tree``): on every query it must
+return the byte-identical path *and* raise byte-identical
+``RoutingFailure``s (same message, same partial path) -- see
+``tests/test_serve_differential.py``.
+
+Per-query work:
+
+1. **decision** (graph schemes): scan the destination label's packed
+   entries in level order and commit to a tree exactly like the source
+   rule in :func:`repro.routing.router.route_in_graph` (``mode="first"``
+   is the 4k-3 analysis; ``mode="best"`` the source-side refinement).
+2. **forwarding**: a tight loop over the packed tree's flat arrays --
+   integer compares plus one dict probe for the light edge -- with the
+   weight of every hop precomputed at compile time.
+
+Successful queries are memoized whole (path and length) in a bounded LRU
+keyed by ``(source, target)``: routing is deterministic per engine, so a
+hot pair (Zipf workloads) skips both the decision scan and the hop loop.
+Failures are never cached -- they re-raise through the reference code
+path every time, keeping the differential contract trivially intact.
+
+The two forwarding loops are kept separate on purpose: ``route_in_tree``
+checks the next hop's table membership *inside* the hop's own iteration
+(before appending it to the path), while ``route_in_graph`` only notices a
+table-less vertex at the start of the *next* iteration (after appending) --
+collapsing them would silently change failure paths and budget accounting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+from ..errors import RoutingFailure
+from .compile import (
+    NO_VERTEX,
+    CompiledGraphScheme,
+    CompiledScheme,
+    CompiledTreeScheme,
+    PackedLabel,
+    PackedTree,
+)
+
+NodeId = Hashable
+
+
+class ServeResult:
+    """Outcome of one served query (success or recorded failure).
+
+    A ``__slots__`` class rather than a dataclass: one of these is built
+    per query, and on short routes the constructor is a measurable share
+    of the per-query budget.
+    """
+
+    __slots__ = ("source", "target", "path", "length", "ok", "error",
+                 "cached")
+
+    def __init__(
+        self,
+        source: NodeId,
+        target: NodeId,
+        path: List[NodeId],
+        length: float,
+        ok: bool,
+        error: Optional[str] = None,
+        cached: bool = False,
+    ) -> None:
+        self.source = source
+        self.target = target
+        self.path = path
+        self.length = length
+        self.ok = ok
+        self.error = error
+        self.cached = cached
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "ok" if self.ok else f"failed: {self.error}"
+        return (f"ServeResult({self.source!r}->{self.target!r} "
+                f"hops={self.hops} length={self.length:.3f} {state})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ServeResult):
+            return NotImplemented
+        return (self.source, self.target, self.path, self.length,
+                self.ok, self.error) == (
+            other.source, other.target, other.path, other.length,
+            other.ok, other.error)
+
+
+class DecisionCache:
+    """A bounded LRU of complete routing decisions.
+
+    Values are ``(path_tuple, length)`` for successfully served
+    ``(source, target)`` pairs; per engine the route is deterministic, so
+    a hit answers the query outright.  Backed by
+    :class:`collections.OrderedDict`, whose C-level linked list
+    makes both the move-to-end on hit and the evict-oldest on overflow
+    O(1).  (A plain insertion-ordered dict looks equivalent but is not:
+    repeated delete-front/insert-back leaves tombstones that
+    ``next(iter(...))`` must skip, degrading eviction to O(n).)
+    ``maxsize <= 0`` disables caching.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key, value) -> None:
+        if self.maxsize <= 0:
+            return
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        elif len(data) >= self.maxsize:
+            data.popitem(last=False)
+        data[key] = value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ServeEngine:
+    """Serve ``route(source, target)`` queries from a compiled scheme."""
+
+    def __init__(
+        self,
+        compiled: CompiledScheme,
+        *,
+        mode: str = "first",
+        cache_size: int = 4096,
+        max_hops: Optional[int] = None,
+    ) -> None:
+        if mode not in ("first", "best"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.compiled = compiled
+        self.mode = mode
+        self.cache = DecisionCache(cache_size)
+        self.max_hops = max_hops
+        self.failures = 0
+        self.queries = 0
+        self._is_tree = isinstance(compiled, CompiledTreeScheme)
+
+    # -- single query --------------------------------------------------------
+
+    def route(self, source: NodeId, target: NodeId) -> ServeResult:
+        """Answer one query; raises :class:`RoutingFailure` like the
+        reference router (use :meth:`route_many` for count-and-continue)."""
+        self.queries += 1
+        if self._is_tree:
+            return self._route_tree(source, target)
+        return self._route_graph(source, target)
+
+    def route_recorded(self, source: NodeId, target: NodeId) -> ServeResult:
+        """Answer one query, converting failures into a recorded result."""
+        try:
+            return self.route(source, target)
+        except RoutingFailure as exc:
+            self.failures += 1
+            return ServeResult(
+                source=source, target=target,
+                path=list(exc.path) if exc.path else [source],
+                length=0.0, ok=False, error=str(exc),
+            )
+
+    # -- batch ---------------------------------------------------------------
+
+    def route_many(
+        self, queries: Iterable[Tuple[NodeId, NodeId]]
+    ) -> List[ServeResult]:
+        """Answer a batch under the count-and-continue failure policy.
+
+        Semantically identical to ``[route_recorded(u, v) for u, v in
+        queries]`` (the differential suite certifies this), but the graph
+        path is a specialized loop with the per-query dispatch, cache
+        bookkeeping, and exception plumbing hoisted out -- this is the
+        serving tier's hot entry point.
+        """
+        if self._is_tree:
+            return [self.route_recorded(u, v) for u, v in queries]
+        return self._route_many_graph(queries)
+
+    def _route_many_graph(
+        self, queries: Iterable[Tuple[NodeId, NodeId]]
+    ) -> List[ServeResult]:
+        compiled: CompiledGraphScheme = self.compiled
+        cache = self.cache
+        cache_on = cache.maxsize > 0
+        data = cache._data
+        move_to_end = data.move_to_end
+        popitem = data.popitem
+        maxsize = cache.maxsize
+        decide = self._decide
+        forward = self._forward_graph
+        decisions = compiled.decisions
+        first = self.mode == "first"
+        budget = self.max_hops or compiled.default_budget
+        results: List[ServeResult] = []
+        append = results.append
+        served = 0
+        failed = 0
+        hits = 0
+        misses = 0
+        for key in queries:
+            source, target = key
+            served += 1
+            if source == target:
+                append(ServeResult(source, target, [source], 0.0, True))
+                continue
+            if cache_on:
+                entry = data.get(key)
+                if entry is not None:
+                    move_to_end(key)
+                    hits += 1
+                    append(ServeResult(source, target, list(entry[0]),
+                                       entry[1], True, None, True))
+                    continue
+                misses += 1
+            try:
+                # Fast path for the default source rule; any miss (or
+                # "best" mode) drops to _decide, which re-runs the lookup
+                # and raises the reference's exact error.
+                decision = None
+                if first:
+                    cands = decisions.get(target)
+                    if cands is not None:
+                        for cand in cands:
+                            if source in cand[0]:
+                                decision = cand[1]
+                                break
+                if decision is None:
+                    decision = decide(compiled, source, target)
+                path, length = forward(compiled, decision[0], decision[1],
+                                       source, target, budget=budget)
+            except RoutingFailure as exc:
+                failed += 1
+                append(ServeResult(
+                    source, target,
+                    list(exc.path) if exc.path else [source],
+                    0.0, False, str(exc),
+                ))
+                continue
+            if cache_on:
+                if len(data) >= maxsize:
+                    popitem(last=False)
+                data[key] = (tuple(path), length)
+            append(ServeResult(source, target, path, length, True))
+        self.queries += served
+        self.failures += failed
+        cache.hits += hits
+        cache.misses += misses
+        return results
+
+    # -- graph scheme --------------------------------------------------------
+
+    def _route_graph(self, source: NodeId, target: NodeId) -> ServeResult:
+        compiled: CompiledGraphScheme = self.compiled
+        if source == target:
+            return ServeResult(source=source, target=target, path=[source],
+                               length=0.0, ok=True)
+
+        cache_on = self.cache.maxsize > 0
+        if cache_on:
+            entry = self.cache.get((source, target))
+            if entry is not None:
+                return ServeResult(source=source, target=target,
+                                   path=list(entry[0]), length=entry[1],
+                                   ok=True, cached=True)
+
+        tree, label = self._decide(compiled, source, target)
+        path, length = self._forward_graph(
+            compiled, tree, label, source, target,
+            budget=self.max_hops or compiled.default_budget,
+        )
+        if cache_on:
+            self.cache.put((source, target), (tuple(path), length))
+        return ServeResult(source=source, target=target, path=path,
+                           length=length, ok=True)
+
+    def _decide(
+        self,
+        compiled: CompiledGraphScheme,
+        source: NodeId,
+        target: NodeId,
+    ) -> Tuple[PackedTree, PackedLabel]:
+        """The source rule: pick the committed tree for this query.
+
+        Mirrors ``route_in_graph``: scan usable label entries in level
+        order, keep those whose tree contains the source, score by the
+        advertised source-root-target upper bound; ``"first"`` commits to
+        the first candidate, ``"best"`` minimizes ``(bound, level)``.
+        Runs over the compiler's flat ``decisions`` table.
+        """
+        cands = compiled.decisions.get(target)
+        if cands is None:
+            raise KeyError(target)  # parity: scheme.labels[target]
+        if source not in compiled.table_ids:
+            raise KeyError(source)  # parity: scheme.tables[source]
+        if self.mode == "first":
+            for cand in cands:
+                if source in cand[0]:
+                    return cand[1]
+        else:
+            best: Optional[Tuple[float, int, tuple]] = None
+            for local, pair, root_distance, level, dist_to_root in cands:
+                li = local.get(source)
+                if li is None:
+                    continue
+                bound = root_distance[li] + dist_to_root
+                if best is None or (bound, level) < (best[0], best[1]):
+                    best = (bound, level, pair)
+            if best is not None:
+                return best[2]
+        raise RoutingFailure(
+            f"no common cluster tree between {source!r} and {target!r} "
+            "(top-level cluster should always be shared)"
+        )
+
+    def _forward_graph(
+        self,
+        compiled: CompiledGraphScheme,
+        tree: PackedTree,
+        label: PackedLabel,
+        source: NodeId,
+        target: NodeId,
+        *,
+        budget: int,
+    ) -> Tuple[List[NodeId], float]:
+        """The ``route_in_graph`` hop loop over packed arrays."""
+        (enter, exit_, parent, parent_id, parent_w,
+         heavy, heavy_id, heavy_w, local, tree_id) = tree.hot
+        light = label.light
+        dest_enter = label.enter
+
+        path = [source]
+        length = 0.0
+        at_id = source
+        li = local.get(source, NO_VERTEX)
+        for _ in range(budget):
+            if li == NO_VERTEX:
+                if at_id not in compiled.table_ids:
+                    raise KeyError(at_id)  # parity: scheme.tables[at]
+                raise RoutingFailure(
+                    f"vertex {at_id!r} has no table for tree "
+                    f"{tree_id!r}", path
+                )
+            e = enter[li]
+            if e == dest_enter:
+                if at_id != target:
+                    raise RoutingFailure(
+                        f"tree routing terminated at {at_id!r}, "
+                        f"not {target!r}", path
+                    )
+                return path, length
+            if e <= dest_enter <= exit_[li]:
+                hop = light.get(li)
+                if hop is None:
+                    nid = heavy_id[li]
+                    if nid is None:
+                        raise RoutingFailure(
+                            f"vertex {at_id!r} is a leaf yet the target "
+                            f"(enter={dest_enter}) is strictly inside its "
+                            "interval"
+                        )
+                    nli, w = heavy[li], heavy_w[li]
+                else:
+                    nli, nid, w = hop
+            else:
+                nid = parent_id[li]
+                if nid is None:
+                    raise RoutingFailure(
+                        f"vertex {at_id!r} is the root yet the target "
+                        f"(enter={dest_enter}) is outside its interval"
+                    )
+                nli, w = parent[li], parent_w[li]
+            if w is None:
+                raise RoutingFailure(
+                    f"({at_id!r}, {nid!r}) is not an edge", path
+                )
+            length += w
+            li, at_id = nli, nid
+            path.append(at_id)
+        raise RoutingFailure(f"exceeded hop budget {budget}", path)
+
+    # -- tree scheme ---------------------------------------------------------
+
+    def _route_tree(self, source: NodeId, target: NodeId) -> ServeResult:
+        compiled: CompiledTreeScheme = self.compiled
+        label = compiled.labels[target]  # parity: scheme.labels[target]
+        path, length = self._forward_tree(
+            compiled.tree, label, source,
+            budget=self.max_hops or compiled.default_budget,
+        )
+        return ServeResult(source=source, target=target, path=path,
+                           length=length, ok=True)
+
+    def _forward_tree(
+        self,
+        tree: PackedTree,
+        label: PackedLabel,
+        source: NodeId,
+        *,
+        budget: int,
+    ) -> Tuple[List[NodeId], float]:
+        """The ``route_in_tree`` hop loop over packed arrays.
+
+        Unlike the graph loop, the next hop's table membership is checked
+        before the hop is appended (same iteration, same budget charge),
+        and arrival is wherever the forwarding rule stops -- the reference
+        never compares against ``target`` here.  Weighted serving of a hop
+        that is not a graph edge charges 1.0 (the reference would surface
+        whatever its user-supplied ``weight_of`` raises; valid schemes
+        never take that path).
+        """
+        (enter, exit_, parent, parent_id, parent_w,
+         heavy, heavy_id, heavy_w, local, _tree_id) = tree.hot
+        light = label.light
+        dest_enter = label.enter
+
+        li = local.get(source)
+        if li is None:
+            raise KeyError(source)  # parity: scheme.tables[source]
+        path = [source]
+        length = 0.0
+        at_id = source
+        for _ in range(budget):
+            e = enter[li]
+            if e == dest_enter:
+                return path, length
+            if e <= dest_enter <= exit_[li]:
+                hop = light.get(li)
+                if hop is None:
+                    nid = heavy_id[li]
+                    if nid is None:
+                        raise RoutingFailure(
+                            f"vertex {at_id!r} is a leaf yet the target "
+                            f"(enter={dest_enter}) is strictly inside its "
+                            "interval"
+                        )
+                    nli, w = heavy[li], heavy_w[li]
+                else:
+                    nli, nid, w = hop
+            else:
+                nid = parent_id[li]
+                if nid is None:
+                    raise RoutingFailure(
+                        f"vertex {at_id!r} is the root yet the target "
+                        f"(enter={dest_enter}) is outside its interval"
+                    )
+                nli, w = parent[li], parent_w[li]
+            if nli == NO_VERTEX:
+                raise RoutingFailure(
+                    f"forwarded to {nid!r}, which has no table", path
+                )
+            length += w if w is not None else 1.0
+            li, at_id = nli, nid
+            path.append(at_id)
+        raise RoutingFailure(f"exceeded hop budget {budget}", path)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "queries": self.queries,
+            "failures": self.failures,
+            "cache_size": len(self.cache),
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_hit_rate": round(self.cache.hit_rate, 4),
+        }

@@ -1,0 +1,305 @@
+"""S16 serving harness: run a workload against a scheme, report SLOs.
+
+``run_serving`` compiles a scheme, generates a seeded workload, serves it
+through the batched engine, and reports what a serving tier is judged on:
+throughput (queries/s), per-query hop and latency percentiles, cache hit
+rate, the count-and-continue failure tally, and a **stretch-SLO verdict**
+-- the fraction of queries delivered within the paper's stretch bound
+(``4k-3`` for Theorem 3 schemes), attached as a
+:class:`~repro.telemetry.bounds.BoundVerdict` so ``--strict`` runs and the
+dashboard treat it like every other paper bound.
+
+``run_serving_recorded`` wraps the run in a telemetry collector and emits
+the :class:`~repro.telemetry.RunRecord` behind ``repro serve --json``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..graphs.paths import dijkstra
+from ..telemetry import events as _tele
+from ..telemetry.bounds import BoundVerdict
+from ..telemetry.runrecord import RunRecord, make_run_record
+from .compile import CompiledGraphScheme, Scheme, compile_scheme, _jsonable_summary
+from .engine import ServeEngine, ServeResult
+from .workloads import make_workload
+
+NodeId = Hashable
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100]) of a non-empty sequence."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class ServeReport:
+    """Everything one serving run is judged on."""
+
+    workload: str
+    queries: int
+    seed: int
+    mode: str
+    cache_size: int
+    compile_s: float
+    serve_s: float
+    throughput_qps: float
+    hops_p50: float
+    hops_p90: float
+    hops_p99: float
+    hops_max: float
+    latency_us_p50: float
+    latency_us_p90: float
+    latency_us_p99: float
+    cache_hit_rate: float
+    failures: int
+    slo_bound: Optional[float] = None
+    slo_fraction: Optional[float] = None
+    slo_target: Optional[float] = None
+    packed: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def slo_ok(self) -> Optional[bool]:
+        if self.slo_fraction is None or self.slo_target is None:
+            return None
+        return self.slo_fraction >= self.slo_target
+
+    def to_row(self) -> Dict[str, Any]:
+        """One flat, JSON-ready row (RunRecord column / bench twin)."""
+        row = {
+            "workload": self.workload,
+            "queries": self.queries,
+            "seed": self.seed,
+            "mode": self.mode,
+            "cache_size": self.cache_size,
+            "compile_s": round(self.compile_s, 4),
+            "serve_s": round(self.serve_s, 4),
+            "throughput_qps": round(self.throughput_qps, 1),
+            "hops_p50": self.hops_p50,
+            "hops_p90": self.hops_p90,
+            "hops_p99": self.hops_p99,
+            "hops_max": self.hops_max,
+            "latency_us_p50": round(self.latency_us_p50, 2),
+            "latency_us_p90": round(self.latency_us_p90, 2),
+            "latency_us_p99": round(self.latency_us_p99, 2),
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "failures": self.failures,
+        }
+        if self.slo_fraction is not None:
+            row["slo_bound"] = round(self.slo_bound, 4)
+            row["slo_fraction"] = round(self.slo_fraction, 4)
+            row["slo_target"] = self.slo_target
+            row["slo_ok"] = self.slo_ok
+        row.update(self.packed)
+        return row
+
+    def render(self) -> str:
+        lines = [
+            f"workload={self.workload} queries={self.queries} "
+            f"seed={self.seed} mode={self.mode}",
+            f"throughput    {self.throughput_qps:>12.0f} queries/s "
+            f"(serve {self.serve_s:.3f}s, compile {self.compile_s:.3f}s)",
+            f"hops          p50={self.hops_p50:.0f} p90={self.hops_p90:.0f} "
+            f"p99={self.hops_p99:.0f} max={self.hops_max:.0f}",
+            f"latency (us)  p50={self.latency_us_p50:.1f} "
+            f"p90={self.latency_us_p90:.1f} p99={self.latency_us_p99:.1f}",
+            f"cache         size={self.cache_size} "
+            f"hit_rate={self.cache_hit_rate:.1%}",
+            f"failures      {self.failures} (count-and-continue)",
+        ]
+        if self.slo_fraction is not None:
+            status = "PASS" if self.slo_ok else "FAIL"
+            lines.append(
+                f"stretch SLO   {self.slo_fraction:.2%} of queries within "
+                f"{self.slo_bound:.3g}x (target {self.slo_target:.0%}): "
+                f"{status}"
+            )
+        return "\n".join(lines)
+
+
+def slo_verdict(report: ServeReport) -> Optional[BoundVerdict]:
+    """The stretch-SLO as a standard bound verdict (None without SLO data)."""
+    if report.slo_fraction is None:
+        return None
+    return BoundVerdict(
+        name=f"serve/{report.workload}/stretch-slo",
+        column="slo_fraction",
+        formula=(f"frac(stretch <= {report.slo_bound:.3g}) "
+                 f">= {report.slo_target}"),
+        measured=round(report.slo_fraction, 4),
+        limit=report.slo_target,
+        passed=bool(report.slo_ok),
+    )
+
+
+def run_serving(
+    scheme: Scheme,
+    graph: nx.Graph,
+    *,
+    workload: str = "uniform",
+    queries: int = 1000,
+    seed: int = 0,
+    mode: str = "first",
+    cache_size: int = 4096,
+    zipf_alpha: float = 1.1,
+    slo_bound: Optional[float] = None,
+    slo_target: float = 0.99,
+    engine: Optional[ServeEngine] = None,
+) -> Tuple[ServeReport, List[ServeResult]]:
+    """Serve ``queries`` seeded queries of ``workload`` against ``scheme``.
+
+    ``slo_bound`` defaults to the paper's ``4k-3`` for graph schemes (the
+    SLO is skipped for tree schemes, whose tree routing is exact).  Pass a
+    prebuilt ``engine`` to serve with a warm cache; by default the run
+    compiles fresh and starts cold.
+    """
+    with _tele.span("serve/run", workload=workload, queries=queries):
+        started = time.perf_counter()
+        if engine is None:
+            compiled = compile_scheme(scheme, graph)
+            engine = ServeEngine(compiled, mode=mode, cache_size=cache_size)
+        else:
+            compiled = engine.compiled
+            mode = engine.mode
+            cache_size = engine.cache.maxsize
+        compile_s = time.perf_counter() - started
+
+        with _tele.span("serve/workload", workload=workload):
+            pairs = make_workload(
+                workload, graph, compiled.nodes, queries, seed,
+                zipf_alpha=zipf_alpha,
+                route_length=_route_length_probe(compiled, graph, mode),
+            )
+
+        perf_counter = time.perf_counter
+        route_recorded = engine.route_recorded
+        latencies_us: List[float] = []
+        results: List[ServeResult] = []
+        with _tele.span("serve/queries", count=len(pairs)):
+            serve_started = perf_counter()
+            for u, v in pairs:
+                q0 = perf_counter()
+                results.append(route_recorded(u, v))
+                latencies_us.append((perf_counter() - q0) * 1e6)
+            serve_s = perf_counter() - serve_started
+        _tele.emit("serve.queries", len(results))
+        _tele.emit("serve.failures", engine.failures)
+
+        if slo_bound is None and isinstance(compiled, CompiledGraphScheme):
+            slo_bound = 4.0 * compiled.k - 3.0
+        slo_fraction = None
+        if slo_bound is not None:
+            with _tele.span("serve/slo", bound=slo_bound):
+                slo_fraction = _slo_fraction(graph, results, slo_bound)
+
+        hops = [r.hops for r in results if r.ok] or [0]
+        stats = engine.stats()
+        report = ServeReport(
+            workload=workload,
+            queries=len(results),
+            seed=seed,
+            mode=mode,
+            cache_size=cache_size,
+            compile_s=compile_s,
+            serve_s=serve_s,
+            throughput_qps=len(results) / serve_s if serve_s > 0 else 0.0,
+            hops_p50=percentile(hops, 50),
+            hops_p90=percentile(hops, 90),
+            hops_p99=percentile(hops, 99),
+            hops_max=max(hops),
+            latency_us_p50=percentile(latencies_us, 50),
+            latency_us_p90=percentile(latencies_us, 90),
+            latency_us_p99=percentile(latencies_us, 99),
+            cache_hit_rate=stats["cache_hit_rate"],
+            failures=engine.failures,
+            slo_bound=slo_bound,
+            slo_fraction=slo_fraction,
+            slo_target=slo_target if slo_fraction is not None else None,
+            packed=_jsonable_summary(compiled),
+        )
+        if slo_fraction is not None:
+            _tele.gauge("serve.slo_fraction", slo_fraction)
+        return report, results
+
+
+def run_serving_recorded(
+    scheme: Scheme,
+    graph: nx.Graph,
+    **kwargs: Any,
+) -> Tuple[ServeReport, RunRecord]:
+    """``run_serving`` under a collector, returning the RunRecord."""
+    from ..telemetry import collect
+
+    started = time.perf_counter()
+    with collect() as tele:
+        report, _ = run_serving(scheme, graph, **kwargs)
+    verdict = slo_verdict(report)
+    record = make_run_record(
+        "serve",
+        workload={
+            "workload": report.workload,
+            "queries": report.queries,
+            "seed": report.seed,
+            "mode": report.mode,
+            "cache_size": report.cache_size,
+        },
+        columns=[report.to_row()],
+        verdicts=[verdict] if verdict is not None else [],
+        collector=tele,
+        wall_s=time.perf_counter() - started,
+    )
+    return report, record
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+
+def _route_length_probe(compiled, graph: nx.Graph, mode: str):
+    """A side engine for adversarial mining (None on routing failure).
+
+    Uses its own engine so mining never warms the measured cache.
+    """
+    probe = ServeEngine(compiled, mode=mode, cache_size=0)
+
+    def route_length(u: NodeId, v: NodeId) -> Optional[float]:
+        result = probe.route_recorded(u, v)
+        return result.length if result.ok else None
+
+    return route_length
+
+
+def _slo_fraction(
+    graph: nx.Graph,
+    results: Sequence[ServeResult],
+    bound: float,
+) -> float:
+    """Fraction of queries delivered within ``bound`` times the exact
+    distance (failed queries count as violations), one Dijkstra per
+    distinct source like ``measure_stretch``."""
+    if not results:
+        return 1.0
+    by_source: Dict[NodeId, List[ServeResult]] = {}
+    for r in results:
+        by_source.setdefault(r.source, []).append(r)
+    within = 0
+    for source, rs in by_source.items():
+        dist, _ = dijkstra(graph, [source])
+        for r in rs:
+            if not r.ok:
+                continue
+            exact = dist.get(r.target, 0.0)
+            stretch = r.length / exact if exact > 0 else 1.0
+            if stretch <= bound + 1e-9:
+                within += 1
+    return within / len(results)

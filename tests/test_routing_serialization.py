@@ -132,3 +132,69 @@ class TestGraphSchemeRoundTrip:
         buf = io.StringIO(json.dumps({"format": 1, "kind": "mystery"}))
         with pytest.raises(InputError):
             load_scheme(buf)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: whole-scheme round trips over arbitrary vertex id types
+# ---------------------------------------------------------------------------
+
+#: Vertex ids a scheme may legitimately carry: ints, strings, and nested
+#: tuples of both (what the tagged id encoding supports and real graph
+#: generators produce, e.g. grid coordinates).
+vertex_ids = st.one_of(
+    st.integers(min_value=-10 ** 6, max_value=10 ** 6),
+    st.text(max_size=8),
+    st.tuples(st.integers(min_value=0, max_value=999),
+              st.integers(min_value=0, max_value=999)),
+    st.tuples(st.text(max_size=4), st.integers(min_value=0, max_value=99)),
+)
+
+
+@st.composite
+def parent_maps(draw, min_nodes=2, max_nodes=10):
+    """A random rooted tree as a parent mapping over drawn vertex ids."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    labels = draw(st.lists(vertex_ids, min_size=n, max_size=n, unique=True))
+    parent = {labels[0]: None}
+    for i in range(1, n):
+        parent[labels[i]] = labels[draw(
+            st.integers(min_value=0, max_value=i - 1))]
+    return parent
+
+
+class TestSchemeRoundTripProperties:
+    @given(parent_maps())
+    @settings(max_examples=40, deadline=None)
+    def test_tree_scheme_round_trip(self, parent):
+        scheme = build_tree_scheme(parent, root_distance=lambda v: 1.0)
+        back = tree_scheme_from_dict(
+            json.loads(json.dumps(tree_scheme_to_dict(scheme)))
+        )
+        assert back.tree_id == scheme.tree_id
+        assert back.root == scheme.root
+        assert back.tables == scheme.tables
+        assert back.labels == scheme.labels
+
+    @given(parent_maps(min_nodes=3, max_nodes=9),
+           st.integers(min_value=1, max_value=3),
+           st.integers(min_value=0, max_value=10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_graph_scheme_round_trip(self, parent, k, seed):
+        import networkx as nx
+
+        graph = nx.Graph()
+        for child, par in parent.items():
+            graph.add_node(child)
+            if par is not None:
+                graph.add_edge(child, par, weight=1.0)
+        scheme = build_centralized_scheme(graph, k, seed=seed)
+        back = graph_scheme_from_dict(
+            json.loads(json.dumps(graph_scheme_to_dict(scheme)))
+        )
+        assert back.k == scheme.k
+        assert back.labels == scheme.labels
+        assert set(back.tables) == set(scheme.tables)
+        for v in scheme.tables:
+            assert back.tables[v].trees == scheme.tables[v].trees
+        assert {t: s.tables for t, s in back.tree_schemes.items()} == \
+               {t: s.tables for t, s in scheme.tree_schemes.items()}

@@ -1,0 +1,208 @@
+"""Tests for the serving harness, SLO verdicts, and the serve CLI."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.graphs import random_connected_graph, spanning_tree_of
+from repro.serve import (
+    ServeEngine,
+    compile_scheme,
+    percentile,
+    run_serving,
+    run_serving_recorded,
+    slo_verdict,
+)
+from repro.tz import build_centralized_scheme, build_tree_scheme
+
+
+@pytest.fixture(scope="module")
+def built():
+    graph = random_connected_graph(70, seed=89)
+    return graph, build_centralized_scheme(graph, 2, seed=89)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 50) == 3.0
+        assert percentile(values, 100) == 5.0
+        assert percentile(values, 1) == 1.0
+        assert percentile([], 50) == 0.0
+
+    def test_monotone(self):
+        values = list(range(100))
+        assert percentile(values, 50) <= percentile(values, 90) \
+               <= percentile(values, 99)
+
+
+class TestRunServing:
+    def test_report_fields(self, built):
+        graph, scheme = built
+        report, results = run_serving(scheme, graph, workload="zipf",
+                                      queries=400, seed=3)
+        assert report.queries == len(results) == 400
+        assert report.workload == "zipf" and report.seed == 3
+        assert report.throughput_qps > 0 and report.serve_s > 0
+        assert report.hops_p50 <= report.hops_p90 <= report.hops_p99 \
+               <= report.hops_max
+        assert report.latency_us_p50 <= report.latency_us_p99
+        assert 0.0 <= report.cache_hit_rate <= 1.0
+        assert report.failures == 0
+        # Theorem 3 SLO: 4k-3 with k=2.
+        assert report.slo_bound == pytest.approx(5.0)
+        assert report.slo_fraction == pytest.approx(1.0)
+        assert report.slo_ok is True
+        assert report.packed["kind"] == "graph"
+
+    def test_to_row_and_render(self, built):
+        graph, scheme = built
+        report, _ = run_serving(scheme, graph, queries=50, seed=4)
+        row = report.to_row()
+        assert row["workload"] == "uniform" and row["slo_ok"] is True
+        json.dumps(row)  # must be JSON-clean
+        text = report.render()
+        assert "throughput" in text and "stretch SLO" in text and "PASS" in text
+
+    def test_tree_scheme_skips_slo(self):
+        graph = random_connected_graph(50, seed=90)
+        parent = spanning_tree_of(graph, style="dfs", seed=90)
+        scheme = build_tree_scheme(parent)
+        report, _ = run_serving(scheme, graph, queries=60, seed=5)
+        assert report.slo_fraction is None and report.slo_ok is None
+        assert slo_verdict(report) is None
+        assert "stretch SLO" not in report.render()
+
+    def test_count_and_continue(self, built):
+        graph, scheme = built
+        import copy
+        broken = copy.deepcopy(scheme)
+        victims = [v for v in list(broken.tables)[:20]]
+        for v in victims:
+            broken.tables[v].trees.clear()
+        report, results = run_serving(broken, graph, queries=300, seed=6)
+        assert report.queries == 300  # nothing aborted
+        assert report.failures == sum(1 for r in results if not r.ok) > 0
+        assert report.slo_fraction < 1.0  # failures violate the SLO
+
+    def test_adversarial_workload_runs(self, built):
+        graph, scheme = built
+        report, _ = run_serving(scheme, graph, workload="adversarial",
+                                queries=40, seed=7)
+        assert report.queries == 40 and report.failures == 0
+
+    def test_prebuilt_engine_warm_cache(self, built):
+        graph, scheme = built
+        engine = ServeEngine(compile_scheme(scheme, graph), cache_size=4096)
+        run_serving(scheme, graph, queries=200, seed=8, engine=engine)
+        report, _ = run_serving(scheme, graph, queries=200, seed=8,
+                                engine=engine)
+        assert report.cache_hit_rate > 0.5  # identical stream, warm cache
+
+    def test_recorded_run_record(self, built):
+        graph, scheme = built
+        report, record = run_serving_recorded(scheme, graph,
+                                              workload="zipf", queries=150,
+                                              seed=9)
+        assert record.kind == "serve"
+        assert record.workload["workload"] == "zipf"
+        assert record.columns[0]["throughput_qps"] > 0
+        assert [v.name for v in record.verdicts] == \
+               ["serve/zipf/stretch-slo"]
+        assert record.passed
+        doc = json.loads(record.to_json())
+        assert doc["kind"] == "serve"
+
+    def test_slo_verdict_shape(self, built):
+        graph, scheme = built
+        report, _ = run_serving(scheme, graph, queries=50, seed=10)
+        verdict = slo_verdict(report)
+        assert verdict.passed is True
+        assert verdict.column == "slo_fraction"
+        assert verdict.limit == report.slo_target
+        assert "frac(stretch" in verdict.formula
+
+
+class TestServeEngineUnits:
+    def test_mode_validated(self, built):
+        graph, scheme = built
+        with pytest.raises(ValueError):
+            ServeEngine(compile_scheme(scheme, graph), mode="worst")
+
+    def test_cache_lru_eviction(self, built):
+        graph, scheme = built
+        engine = ServeEngine(compile_scheme(scheme, graph), cache_size=2)
+        nodes = list(graph.nodes)
+        a, b, c, d = nodes[:4]
+        engine.route(a, b)
+        engine.route(a, c)
+        engine.route(a, b)  # refresh (a, b)
+        engine.route(a, d)  # evicts (a, c), the least recent
+        assert (a, b) in engine.cache._data
+        assert (a, c) not in engine.cache._data
+        assert len(engine.cache) == 2
+
+    def test_cache_disabled(self, built):
+        graph, scheme = built
+        engine = ServeEngine(compile_scheme(scheme, graph), cache_size=0)
+        nodes = list(graph.nodes)
+        engine.route(nodes[0], nodes[1])
+        engine.route(nodes[0], nodes[1])
+        assert len(engine.cache) == 0 and engine.cache.hit_rate == 0.0
+
+    def test_stats_and_clear(self, built):
+        graph, scheme = built
+        engine = ServeEngine(compile_scheme(scheme, graph))
+        nodes = list(graph.nodes)
+        engine.route_many([(nodes[0], nodes[1])] * 3)
+        stats = engine.stats()
+        assert stats["queries"] == 3 and stats["cache_hits"] == 2
+        assert stats["cache_hit_rate"] == pytest.approx(2 / 3, abs=1e-4)
+        engine.cache.clear()
+        assert engine.stats()["cache_size"] == 0
+
+
+class TestServeCli:
+    def test_parser_accepts_serve(self):
+        args = build_parser().parse_args(
+            ["serve", "--workload", "zipf", "--queries", "50", "--n", "40",
+             "--json"]
+        )
+        assert args.command == "serve" and args.workload == "zipf"
+
+    def test_text_output(self, capsys):
+        rc = main(["serve", "--n", "40", "--k", "2", "--queries", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "stretch SLO" in out
+
+    def test_json_run_record(self, capsys):
+        rc = main(["serve", "--n", "40", "--k", "2", "--queries", "60",
+                   "--workload", "zipf", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "serve"
+        row = doc["columns"][0]
+        for key in ("throughput_qps", "hops_p50", "latency_us_p50",
+                    "cache_hit_rate", "slo_fraction"):
+            assert key in row
+        assert doc["verdicts"][0]["passed"] is True
+
+    def test_strict_passes_on_healthy_scheme(self, capsys):
+        rc = main(["serve", "--n", "40", "--k", "2", "--queries", "60",
+                   "--strict", "--quiet"])
+        assert rc == 0
+
+    def test_out_file(self, tmp_path, capsys):
+        out = tmp_path / "serve.txt"
+        rc = main(["serve", "--n", "40", "--k", "2", "--queries", "40",
+                   "--quiet", "--out", str(out)])
+        assert rc == 0
+        assert "throughput" in out.read_text()
+        assert capsys.readouterr().out == ""
+
+    def test_distributed_builder(self, capsys):
+        rc = main(["serve", "--n", "40", "--k", "2", "--queries", "40",
+                   "--builder", "distributed", "--quiet"])
+        assert rc == 0
