@@ -7,7 +7,6 @@ memory column grows like n^{1/k} (far slower than √n) and that rounds grow
 sub-quadratically.
 """
 
-import math
 
 from _util import emit, once
 

@@ -7,7 +7,6 @@ pure engine workload (``fig7_flood``) must clear the
 """
 
 from _util import emit, once
-
 from sim_micro import FIG7_MIN_SPEEDUP, render, run_sim_micro
 
 

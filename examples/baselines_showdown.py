@@ -16,7 +16,7 @@ Run:  python examples/baselines_showdown.py
 """
 
 from repro.analysis import format_records, run_table1
-from repro.baselines import build_tree_cover_scheme, scale_count
+from repro.baselines import build_tree_cover_scheme
 from repro.core import build_distributed_scheme
 from repro.graphs import assign_log_uniform_weights, random_connected_graph
 

@@ -51,6 +51,7 @@ from .analysis import (
     run_table2,
     run_table2_recorded,
 )
+from .serve.workloads import WORKLOADS
 from .telemetry import (
     build_dashboard,
     collect,
@@ -58,7 +59,6 @@ from .telemetry import (
     render_profile,
     write_chrome_trace,
 )
-from .serve.workloads import WORKLOADS
 from .telemetry import flight as _flight
 
 FIGURES = {
@@ -179,6 +179,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the serving RunRecord as JSON")
     serve.add_argument("--strict", action="store_true",
                        help="exit 1 if the stretch-SLO verdict fails")
+
+    lint = sub.add_parser(
+        "lint", parents=[common],
+        help="run the CONGEST-invariant static analyzer (S17)",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint "
+                           "(default: src/repro)")
+    lint.add_argument("--rules", type=str, default=None, metavar="IDS",
+                      help="comma-separated rule ids (default: all of "
+                           "REP001-REP005)")
+    lint.add_argument("--baseline", type=str, default=None, metavar="PATH",
+                      help="baseline file of grandfathered findings "
+                           "(default: lint-baseline.json at the repo "
+                           "root, when present)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="grandfather the current findings into the "
+                           "baseline file (reasons of kept entries are "
+                           "preserved; new ones need justifying)")
+    lint.add_argument("--explain", action="store_true",
+                      help="print the rule catalogue and exit")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the lint RunRecord as JSON")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit 1 on any non-baselined finding")
 
     sub.add_parser("demo", parents=[common],
                    help="tiny end-to-end demonstration")
@@ -380,6 +407,60 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    from .lint import (
+        ALL_RULES,
+        Baseline,
+        resolve_rules,
+        run_lint,
+        write_baseline,
+    )
+    from .lint.runner import DEFAULT_BASELINE
+
+    if args.explain:
+        lines = []
+        for rule in resolve_rules(args.rules) if args.rules else \
+                [cls() for cls in ALL_RULES]:
+            lines.append(f"{rule.id}  {rule.title}")
+            lines.append(f"    protects: {rule.invariant}")
+        _deliver("\n".join(lines), args)
+        return 0
+
+    baseline_path = Path(args.baseline) if args.baseline else \
+        _REPO_ROOT / DEFAULT_BASELINE
+    baseline = None
+    if args.no_baseline:
+        baseline = Baseline()
+    elif args.baseline:
+        # A not-yet-written --baseline path acts as empty so that
+        # --write-baseline can target a fresh file.
+        baseline = (Baseline.load(baseline_path)
+                    if baseline_path.exists() else Baseline())
+
+    # Explicit paths lint the caller's tree (resolve against the cwd);
+    # the no-argument default self-lints the repo the package ships in.
+    report = run_lint(args.paths or None, rules=args.rules,
+                      baseline=baseline,
+                      root=Path.cwd() if args.paths else None)
+
+    if args.write_baseline:
+        previous = (Baseline.load(baseline_path)
+                    if baseline_path.exists() else None)
+        base = write_baseline(report, baseline_path, previous)
+        _deliver(f"baseline written to {baseline_path} "
+                 f"({len(base)} entries)", args)
+        return 0
+
+    record = report.to_run_record()
+    body = record.to_json() if args.json else report.render()
+    _deliver(body, args)
+    if args.strict and not report.clean:
+        print(f"lint: {len(report.findings)} non-baselined finding(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in ("table1", "table2"):
@@ -390,6 +471,8 @@ def main(argv=None) -> int:
         return _run_trace(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "dashboard":
         root = Path(args.root) if args.root else _REPO_ROOT
         out = build_dashboard(

@@ -10,7 +10,7 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Sequence
 
 from ..baselines.en16_tree import build_en16_tree_scheme
 from ..congest.network import Network

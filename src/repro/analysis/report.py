@@ -12,8 +12,8 @@ this report is for humans skimming results.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from .figures import (
     fig_stretch,

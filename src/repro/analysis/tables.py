@@ -9,12 +9,9 @@ outputs and the shape assertions).
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
-
-import networkx as nx
+from typing import Any, Dict, List, Tuple
 
 from ..baselines.en16_tree import build_en16_tree_scheme
 from ..baselines.landmark import build_landmark_scheme
@@ -164,7 +161,8 @@ def run_table1(
         "stretch_max": stretch.max_stretch,
         "stretch_mean": stretch.mean_stretch,
         "memory_words": report.max_memory_words,
-        "paper_bound": f"(n^(1/2+1/k)+D)·γ / Õ(n^(1/k)) / O(k log n) / {4*k-5}+o(1) / Õ(n^(1/k))",
+        "paper_bound": (f"(n^(1/2+1/k)+D)·γ / Õ(n^(1/k)) / O(k log n) / "
+                        f"{4*k-5}+o(1) / Õ(n^(1/k))"),
     })
 
     # [TZ01b] centralized.

@@ -33,13 +33,22 @@ from ..tz.tree_scheme import build_tree_scheme
 NodeId = Hashable
 
 
-def choose_landmarks(graph: nx.Graph, count: Optional[int], seed: int) -> List[NodeId]:
+def choose_landmarks(
+    graph: nx.Graph,
+    count: Optional[int],
+    seed: int,
+    *,
+    rng: Optional[random.Random] = None,
+) -> List[NodeId]:
+    """Pick the landmark set; ``rng`` injects a caller-owned sampling
+    stream (``seed`` is then ignored), matching ``sample_pairs``."""
     n = graph.number_of_nodes()
     if count is None:
         count = max(1, math.ceil(math.sqrt(n)))
     if not (1 <= count <= n):
         raise InputError(f"landmark count {count} out of range")
-    rng = random.Random(f"landmarks/{seed}")
+    if rng is None:
+        rng = random.Random(f"landmarks/{seed}")
     return sorted(rng.sample(sorted(graph.nodes, key=repr), count), key=repr)
 
 
@@ -48,10 +57,11 @@ def build_landmark_scheme(
     *,
     landmarks: Optional[int] = None,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> GraphRoutingScheme:
     """Build the landmark scheme (centralized preprocessing)."""
     require_weighted_connected(graph)
-    chosen = choose_landmarks(graph, landmarks, seed)
+    chosen = choose_landmarks(graph, landmarks, seed, rng=rng)
 
     tree_schemes: Dict[Hashable, TreeRoutingScheme] = {}
     dist_by_landmark: Dict[NodeId, Dict[NodeId, float]] = {}

@@ -27,14 +27,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Tuple
 
 import networkx as nx
 
 from ..errors import InputError, RoutingFailure
 from ..graphs.paths import dijkstra
 from ..graphs.validation import require_weighted_connected
-from ..routing.artifacts import TreeLabel, TreeRoutingScheme
+from ..routing.artifacts import TreeRoutingScheme
 from ..routing.tree_router import tree_forward
 from ..tz.tree_scheme import build_tree_scheme
 

@@ -31,10 +31,10 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Hashable, List, Sequence, Tuple
 
-from .bfs import BfsTree
-from .network import Network
 from ..telemetry import events as _tele
 from ..wordsize import words_of
+from .bfs import BfsTree
+from .network import Network
 
 NodeId = Hashable
 

@@ -30,7 +30,7 @@ Two reference programs ship with the module and double as documentation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 
 from ..errors import InputError
 from ..wordsize import words_of
@@ -43,6 +43,9 @@ NodeId = Hashable
 
 class NodeApi:
     """The world as one vertex sees it."""
+
+    __slots__ = ("_net", "id", "ports", "_port_set", "memory",
+                 "_outgoing", "halted")
 
     def __init__(self, net: Network, node: NodeId) -> None:
         self._net = net
@@ -88,7 +91,7 @@ class NodeProgram:
 
 
 @dataclass
-class ProtocolResult:
+class ProtocolResult:  # lint: ignore[REP005] -- built once as the run's return value, not per round
     """Outcome of a protocol run."""
 
     rounds: int
@@ -98,7 +101,7 @@ class ProtocolResult:
 
 def run_protocol(
     net: Network,
-    make_program,
+    make_program: Callable[[NodeId], NodeProgram],
     *,
     max_rounds: int = 10 ** 6,
     max_quiet_rounds: int = 64,

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
+from .message import Message
 from .network import Network
 
 
@@ -137,7 +138,8 @@ class _TraceObserver:
     def __init__(self, trace: RoundTrace) -> None:
         self.trace = trace
 
-    def on_round(self, net: Network, delivered, words: int) -> None:
+    def on_round(self, net: Network, delivered: Sequence[Message],
+                 words: int) -> None:
         self.trace.samples.append(RoundSample(
             round_index=net.metrics.rounds,
             messages=len(delivered),

@@ -29,7 +29,6 @@ from ..congest.network import Network
 from ..errors import InvariantViolation
 from ..routing.artifacts import (
     GraphLabel,
-    GraphRoutingScheme,
     GraphTable,
     TreeRoutingScheme,
 )

@@ -40,7 +40,7 @@ from ..tz.clusters import compute_pivots
 from ..tz.hierarchy import Hierarchy, sample_hierarchy, virtual_level
 from .assembly import assemble_labels, assemble_tables, build_tree_schemes
 from .high_levels import HighLevelConfig, build_high_level_clusters
-from .low_levels import build_exact_low_level_clusters, claim8_hop_limit
+from .low_levels import build_exact_low_level_clusters
 
 NodeId = Hashable
 

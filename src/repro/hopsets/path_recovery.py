@@ -22,7 +22,7 @@ Claim-6 bound Õ(n^{1/k})).
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable
+from typing import Hashable
 
 from ..congest.network import Network
 from .bounded_bf import ExplorationState

@@ -1,0 +1,65 @@
+"""repro.lint -- the CONGEST-locality static analyzer (S17).
+
+An AST-based lint suite whose rules encode the *model invariants* the
+reproduction's measurements rest on, not style:
+
+=======  ==========================================================
+REP001   CONGEST locality: ``NodeProgram`` code goes through NodeApi
+REP002   unseeded randomness: every draw comes from an injected rng
+REP003   unaccounted sends: message widths derive from ``words_of``
+REP004   memory-meter bypass: vertex state growth is metered
+REP005   hot-path hygiene: loop-instantiated classes carry __slots__
+=======  ==========================================================
+
+Entry points: ``repro lint`` on the command line (findings land in the
+telemetry layer as a RunRecord of kind ``lint``), :func:`run_lint` from
+Python, and the rule catalogue in ``docs/static-analysis.md``.
+"""
+
+from .core import ModuleInfo, Rule, ScopedVisitor, parse_module
+from .findings import Baseline, BaselineEntry, Finding, UNJUSTIFIED
+from .rules import (
+    ALL_RULES,
+    RULES_BY_ID,
+    CongestLocality,
+    HotPathHygiene,
+    MemoryMeterBypass,
+    UnaccountedSends,
+    UnseededRandomness,
+)
+from .runner import (
+    DEFAULT_BASELINE,
+    DEFAULT_PATHS,
+    REPO_ROOT,
+    LintReport,
+    iter_python_files,
+    resolve_rules,
+    run_lint,
+    write_baseline,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Baseline",
+    "BaselineEntry",
+    "CongestLocality",
+    "DEFAULT_BASELINE",
+    "DEFAULT_PATHS",
+    "Finding",
+    "HotPathHygiene",
+    "LintReport",
+    "MemoryMeterBypass",
+    "ModuleInfo",
+    "REPO_ROOT",
+    "Rule",
+    "ScopedVisitor",
+    "UNJUSTIFIED",
+    "UnaccountedSends",
+    "UnseededRandomness",
+    "iter_python_files",
+    "parse_module",
+    "resolve_rules",
+    "run_lint",
+    "write_baseline",
+]

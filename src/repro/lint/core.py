@@ -1,0 +1,248 @@
+"""The analysis core: parsed modules, scoped AST visitors, rule base class.
+
+The framework is deliberately small: a :class:`ModuleInfo` is one parsed
+source file (AST + source lines + inline suppression pragmas); a
+:class:`Rule` inspects modules one at a time (``check_module``) and may emit
+whole-project findings after every file has been seen (``finish`` -- used by
+cross-module rules like REP005, which must join class definitions in one
+file with instantiation sites in another).
+
+Inline suppression
+------------------
+A finding is suppressed when its line (or the line directly above, for
+comment-on-its-own-line style) carries the pragma::
+
+    # lint: ignore[REP004] -- scratch list, freed within the round
+
+``# lint: ignore`` with no rule list suppresses every rule on that line.
+The ``-- reason`` tail is the justifying comment the baseline workflow
+requires; prefer the pragma for violations that are *by design* and the
+baseline file (:mod:`repro.lint.findings`) for grandfathered debt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from .findings import Finding
+
+#: ``# lint: ignore`` or ``# lint: ignore[REP001, REP004]``
+PRAGMA_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file, shared by every rule."""
+
+    path: Path  # absolute
+    relpath: str  # repo-relative posix (what findings report)
+    tree: ast.Module
+    lines: List[str]
+    #: line number -> suppressed rule ids (``None`` = all rules)
+    suppressions: Dict[int, Optional[FrozenSet[str]]] = field(
+        default_factory=dict
+    )
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """True when ``rule`` is pragma-suppressed at ``line`` (the line
+        itself or a comment line directly above)."""
+        for at in (line, line - 1):
+            rules = self.suppressions.get(at, _MISSING)
+            if rules is _MISSING:
+                continue
+            if rules is None or rule in rules:
+                return True
+        return False
+
+
+#: Sentinel distinguishing "no pragma" from "pragma with no rule list".
+_MISSING: FrozenSet[str] = frozenset({"\0missing"})
+
+
+def parse_module(path: Path, root: Path) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo` (raises ``SyntaxError``)."""
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    suppressions: Dict[int, Optional[FrozenSet[str]]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        listed = match.group(1)
+        if listed is None:
+            suppressions[lineno] = None
+        else:
+            suppressions[lineno] = frozenset(
+                part.strip().upper()
+                for part in listed.split(",") if part.strip()
+            )
+    try:
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    return ModuleInfo(path=path, relpath=relpath, tree=tree,
+                      lines=lines, suppressions=suppressions)
+
+
+class Rule:
+    """Base class of all checkers.
+
+    Subclasses set ``id`` / ``title`` / ``invariant`` (the paper guarantee
+    the rule protects -- surfaced by ``repro lint --explain`` and the rule
+    catalogue in docs/static-analysis.md) and override :meth:`check_module`;
+    cross-module rules accumulate state there and emit from :meth:`finish`.
+    """
+
+    id: str = "REP000"
+    title: str = ""
+    invariant: str = ""
+
+    def check_module(self, mod: ModuleInfo) -> List[Finding]:
+        return []
+
+    def finish(self, modules: Sequence[ModuleInfo]) -> List[Finding]:
+        return []
+
+
+class ScopedVisitor(ast.NodeVisitor):
+    """An ``ast.NodeVisitor`` that tracks the enclosing qualname and lets
+    rules emit findings with one call."""
+
+    def __init__(self, rule: Rule, mod: ModuleInfo) -> None:
+        self.rule = rule
+        self.mod = mod
+        self.findings: List[Finding] = []
+        self._scope: List[str] = []
+
+    # -- scope tracking -----------------------------------------------------
+
+    @property
+    def context(self) -> str:
+        return ".".join(self._scope) if self._scope else "<module>"
+
+    def _visit_scoped(self, node: ast.AST, name: str) -> None:
+        self._scope.append(name)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._scope.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_scoped(node, node.name)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scoped(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scoped(node, node.name)
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(self, node: ast.AST, message: str,
+             context: Optional[str] = None) -> None:
+        self.findings.append(Finding(
+            rule=self.rule.id,
+            path=self.mod.relpath,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            context=context if context is not None else self.context,
+            message=message,
+        ))
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+def attr_root(node: ast.AST) -> Optional[ast.AST]:
+    """The leftmost value of an attribute/subscript/call chain.
+
+    ``self.sketch[seed].append`` -> the ``Name('self')`` node;
+    ``foo().bar`` -> the ``Call`` node's own root.
+    """
+    while True:
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            return node
+
+
+def is_name(node: ast.AST, *names: str) -> bool:
+    return isinstance(node, ast.Name) and node.id in names
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` as a string for pure Name/Attribute chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def contains_call_to(node: ast.AST, name: str) -> bool:
+    """True when the subtree contains a call to ``name`` (bare or as the
+    final attribute of a dotted chain, e.g. ``wordsize.words_of``)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            if is_name(func, name):
+                return True
+            if isinstance(func, ast.Attribute) and func.attr == name:
+                return True
+    return False
+
+
+def class_has_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            if any(is_name(t, "__slots__") for t in stmt.targets):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if is_name(stmt.target, "__slots__"):
+                return True
+    return False
+
+
+def base_names(node: ast.ClassDef) -> List[str]:
+    """Base-class names, using the final attribute for dotted bases."""
+    out: List[str] = []
+    for b in node.bases:
+        if isinstance(b, ast.Name):
+            out.append(b.id)
+        elif isinstance(b, ast.Attribute):
+            out.append(b.attr)
+    return out
+
+
+def node_program_classes(tree: ast.Module) -> List[ast.ClassDef]:
+    """Classes extending ``NodeProgram`` (transitively, within the module)."""
+    classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+    program_names = {"NodeProgram"}
+    # Iterate to a fixed point so B(A(NodeProgram)) is found as well.
+    changed = True
+    found: List[ast.ClassDef] = []
+    found_ids = set()
+    while changed:
+        changed = False
+        for cls in classes:
+            if id(cls) in found_ids:
+                continue
+            if any(b in program_names for b in base_names(cls)):
+                found.append(cls)
+                found_ids.add(id(cls))
+                program_names.add(cls.name)
+                changed = True
+    return found

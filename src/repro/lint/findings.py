@@ -1,0 +1,183 @@
+"""Finding records and the grandfathering baseline.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+carry a *stable key* -- ``(rule, path, context, message)`` without the line
+number -- so a baseline entry keeps matching when unrelated edits shift the
+file, and goes stale exactly when the offending code itself changes (at
+which point the violation must be re-justified or fixed).
+
+The :class:`Baseline` is the grandfathering mechanism: findings listed in
+``lint-baseline.json`` (with a mandatory human-written ``reason``) are
+reported separately and do not fail ``repro lint --strict``.  Entries that
+no longer match any finding are *stale* and reported so the baseline only
+ever shrinks.  New suppressions inline in code use the pragma comment
+``# lint: ignore[REP00X] -- reason`` instead (see :mod:`repro.lint.core`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+FindingKey = Tuple[str, str, str, str]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation: rule id, location, and a one-line message."""
+
+    rule: str  # "REP001" ... "REP005" (or "REP000" for parse failures)
+    path: str  # repo-relative posix path
+    line: int  # 1-based
+    col: int  # 0-based, matching ast
+    context: str  # enclosing qualname, e.g. "FloodMax.on_round"
+    message: str
+
+    def key(self) -> FindingKey:
+        """Line-free identity used for baseline matching."""
+        return (self.rule, self.path, self.context, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "context": self.context,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Finding":
+        return cls(
+            rule=d["rule"],
+            path=d["path"],
+            line=int(d.get("line", 0)),
+            col=int(d.get("col", 0)),
+            context=d.get("context", "<module>"),
+            message=d["message"],
+        )
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule} [{self.context}] {self.message}")
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding plus the justification for keeping it."""
+
+    rule: str
+    path: str
+    context: str
+    message: str
+    reason: str
+
+    def key(self) -> FindingKey:
+        return (self.rule, self.path, self.context, self.message)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "context": self.context,
+            "message": self.message,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "BaselineEntry":
+        return cls(
+            rule=d["rule"],
+            path=d["path"],
+            context=d.get("context", "<module>"),
+            message=d["message"],
+            reason=d.get("reason", ""),
+        )
+
+    @classmethod
+    def from_finding(cls, finding: Finding, reason: str) -> "BaselineEntry":
+        return cls(
+            rule=finding.rule,
+            path=finding.path,
+            context=finding.context,
+            message=finding.message,
+            reason=reason,
+        )
+
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: Reason stamped on entries written by ``repro lint --write-baseline``;
+#: the workflow (docs/static-analysis.md) is to replace it with a real
+#: justification before committing.
+UNJUSTIFIED = "TODO: justify or fix"
+
+
+class Baseline:
+    """The set of grandfathered findings, round-tripping via JSON."""
+
+    def __init__(self, entries: Optional[Sequence[BaselineEntry]] = None,
+                 path: Optional[Path] = None) -> None:
+        self.entries: List[BaselineEntry] = list(entries or [])
+        self.path = path
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def keys(self) -> Dict[FindingKey, BaselineEntry]:
+        return {e.key(): e for e in self.entries}
+
+    # -- matching -----------------------------------------------------------
+
+    def split(self, findings: Sequence[Finding]) -> Tuple[
+            List[Finding], List[Finding], List[BaselineEntry]]:
+        """Partition findings into (live, baselined); also report stale
+        entries that matched nothing (the code they excused is gone)."""
+        by_key = self.keys()
+        live: List[Finding] = []
+        baselined: List[Finding] = []
+        matched = set()
+        for f in findings:
+            entry = by_key.get(f.key())
+            if entry is None:
+                live.append(f)
+            else:
+                baselined.append(f)
+                matched.add(f.key())
+        stale = [e for e in self.entries if e.key() not in matched]
+        return live, baselined, stale
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": BASELINE_SCHEMA_VERSION,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any],
+                  path: Optional[Path] = None) -> "Baseline":
+        return cls(
+            entries=[BaselineEntry.from_dict(e) for e in d.get("entries", [])],
+            path=path,
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        entries = sorted(self.entries, key=lambda e: e.key())
+        doc = {
+            "schema_version": BASELINE_SCHEMA_VERSION,
+            "entries": [e.to_dict() for e in entries],
+        }
+        path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+        self.path = path
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        path = Path(path)
+        return cls.from_dict(json.loads(path.read_text()), path=path)

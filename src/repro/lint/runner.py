@@ -1,0 +1,242 @@
+"""Walking the tree, running the rules, and reporting.
+
+:func:`run_lint` is the whole pipeline: collect ``*.py`` files, parse each
+once, run every requested rule, apply inline pragmas and the baseline, and
+return a :class:`LintReport`.  The report renders as text (the CLI
+default), serializes to a dict, and converts to a telemetry
+:class:`~repro.telemetry.runrecord.RunRecord` of kind ``lint`` whose single
+:class:`~repro.telemetry.bounds.BoundVerdict` (``lint/clean``) gates
+``repro lint --strict`` exactly like the paper-bound verdicts gate the
+table runs -- lint findings land in the same observability layer as every
+other measurement.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..errors import InputError
+from ..telemetry.bounds import BoundVerdict
+from ..telemetry.runrecord import RunRecord
+from .core import ModuleInfo, Rule, parse_module
+from .findings import UNJUSTIFIED, Baseline, BaselineEntry, Finding
+from .rules import ALL_RULES, RULES_BY_ID
+
+#: Repo root: src/repro/lint/runner.py -> three levels above ``src``.
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: What ``repro lint`` analyzes when no paths are given.
+DEFAULT_PATHS = ("src/repro",)
+
+#: Where the grandfathering baseline lives.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache"}
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if not (_SKIP_DIRS & set(p.parts))
+            )
+        elif path.suffix == ".py":
+            out.append(path)
+        elif not path.exists():
+            raise InputError(f"lint path does not exist: {path}")
+    return out
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]  # live: not suppressed, not baselined
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    files: int = 0
+    rules: List[str] = field(default_factory=list)
+    paths: List[str] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing needs fixing (strict mode passes)."""
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "clean": self.clean,
+            "files": self.files,
+            "rules": list(self.rules),
+            "paths": list(self.paths),
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "stale_baseline": [e.to_dict() for e in self.stale_baseline],
+            "wall_s": round(self.wall_s, 4),
+        }
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for f in self.findings:
+            lines.append(f.render())
+        if self.stale_baseline:
+            lines.append("")
+            lines.append("stale baseline entries (fixed or gone -- remove "
+                         "them from the baseline):")
+            for e in self.stale_baseline:
+                lines.append(f"  {e.rule} {e.path} [{e.context}] {e.message}")
+        lines.append("")
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files} file(s) "
+            f"({len(self.baselined)} baselined, "
+            f"{len(self.suppressed)} pragma-suppressed; "
+            f"rules: {', '.join(self.rules)})"
+        )
+        return "\n".join(lines).lstrip("\n")
+
+    def to_run_record(self) -> RunRecord:
+        """Emit the run as a telemetry RunRecord of kind ``lint``."""
+        verdict = BoundVerdict(
+            name="lint/clean",
+            column="findings",
+            formula="non-baselined findings == 0",
+            measured=float(len(self.findings)),
+            limit=0.0,
+            passed=self.clean,
+        )
+        return RunRecord(
+            kind="lint",
+            workload={
+                "paths": list(self.paths),
+                "rules": list(self.rules),
+                "files": self.files,
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+                "stale_baseline": len(self.stale_baseline),
+            },
+            columns=[f.to_dict() for f in self.findings],
+            verdicts=[verdict],
+            wall_s=self.wall_s,
+        )
+
+
+def resolve_rules(spec: Optional[Union[str, Sequence[str]]]) -> List[Rule]:
+    """Instantiate the requested rules (all of them by default).
+
+    ``spec`` is a comma-separated string or a sequence of rule ids;
+    unknown ids raise :class:`~repro.errors.InputError`.
+    """
+    if spec is None:
+        return [cls() for cls in ALL_RULES]
+    ids = ([s.strip().upper() for s in spec.split(",")]
+           if isinstance(spec, str) else [s.upper() for s in spec])
+    rules: List[Rule] = []
+    for rule_id in ids:
+        if not rule_id:
+            continue
+        cls = RULES_BY_ID.get(rule_id)
+        if cls is None:
+            known = ", ".join(sorted(RULES_BY_ID))
+            raise InputError(f"unknown lint rule {rule_id!r} (known: {known})")
+        rules.append(cls())
+    if not rules:
+        raise InputError("no lint rules selected")
+    return rules
+
+
+def run_lint(
+    paths: Optional[Sequence[Union[str, Path]]] = None,
+    *,
+    rules: Optional[Union[str, Sequence[str]]] = None,
+    baseline: Optional[Union[Baseline, str, Path]] = None,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Lint ``paths`` (default: ``src/repro``) and return the report.
+
+    ``baseline`` is a :class:`Baseline`, a path to one, or ``None`` to
+    auto-load ``lint-baseline.json`` from the repo root when present.
+    Relative paths resolve against ``root`` (default: the repo root).
+    """
+    started = time.perf_counter()
+    root = Path(root) if root is not None else REPO_ROOT
+    raw_paths = [Path(p) for p in (paths or DEFAULT_PATHS)]
+    resolved = [p if p.is_absolute() else root / p for p in raw_paths]
+    files = iter_python_files(resolved)
+    rule_objs = resolve_rules(rules)
+
+    if baseline is None:
+        default = root / DEFAULT_BASELINE
+        base = Baseline.load(default) if default.exists() else Baseline()
+    elif isinstance(baseline, Baseline):
+        base = baseline
+    else:
+        base = Baseline.load(baseline)
+
+    modules: List[ModuleInfo] = []
+    findings: List[Finding] = []
+    for path in files:
+        try:
+            mod = parse_module(path, root)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule="REP000", path=path.as_posix(),
+                line=exc.lineno or 0, col=(exc.offset or 1) - 1,
+                context="<module>", message=f"syntax error: {exc.msg}",
+            ))
+            continue
+        modules.append(mod)
+        for rule in rule_objs:
+            findings.extend(rule.check_module(mod))
+    for rule in rule_objs:
+        findings.extend(rule.finish(modules))
+
+    by_relpath = {mod.relpath: mod for mod in modules}
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        mod = by_relpath.get(f.path)
+        if mod is not None and mod.suppressed(f.rule, f.line):
+            suppressed.append(f)
+        else:
+            kept.append(f)
+    live, baselined, stale = base.split(kept)
+
+    return LintReport(
+        findings=live,
+        baselined=baselined,
+        suppressed=suppressed,
+        stale_baseline=stale,
+        files=len(files),
+        rules=[r.id for r in rule_objs],
+        paths=[p.as_posix() for p in raw_paths],
+        wall_s=time.perf_counter() - started,
+    )
+
+
+def write_baseline(report: LintReport,
+                   path: Union[str, Path],
+                   previous: Optional[Baseline] = None) -> Baseline:
+    """Grandfather the report's live findings into a baseline file.
+
+    Reasons of still-matching entries from ``previous`` are preserved;
+    new entries get the :data:`~repro.lint.findings.UNJUSTIFIED` stamp
+    that the review workflow requires replacing with a justification.
+    """
+    old = (previous.keys() if previous is not None else {})
+    entries = []
+    for f in report.findings + report.baselined:
+        kept = old.get(f.key())
+        reason = kept.reason if kept is not None else UNJUSTIFIED
+        entries.append(BaselineEntry.from_finding(f, reason))
+    base = Baseline(entries)
+    base.save(path)
+    return base

@@ -31,7 +31,7 @@ General graphs (Appendix B):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
 NodeId = Hashable
 TreeId = Hashable

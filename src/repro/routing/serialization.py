@@ -18,7 +18,7 @@ Round-trip identity (``load(save(s)) == s``) is property-tested in
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Hashable, IO, List, Optional, Union
+from typing import IO, Any, Dict, Hashable, Union
 
 from ..errors import InputError
 from .artifacts import (

@@ -14,7 +14,7 @@ message; returning normally means the scheme passed.
 from __future__ import annotations
 
 import random
-from typing import Hashable, Mapping, Optional, Sequence
+from typing import Hashable, Mapping, Optional
 
 import networkx as nx
 
@@ -33,6 +33,7 @@ def verify_tree_scheme(
     weight_of=None,
     sample_pairs: int = 0,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> None:
     """Certify a tree scheme's structure (and optionally its routing).
 
@@ -42,7 +43,10 @@ def verify_tree_scheme(
     entry times match tables; light edges connect parent to child and are
     never the heavy child.  When ``tree_parent`` is given, parents must
     match it exactly.  With ``sample_pairs > 0``, routes that many random
-    pairs and (given ``weight_of``) compares lengths to tree distances.
+    pairs and (given ``weight_of``) compares lengths to tree distances;
+    pass ``rng`` to draw the sample from a caller-owned
+    :class:`random.Random` stream (``seed`` is then ignored), the same
+    injection pattern as :func:`repro.routing.router.sample_pairs`.
     """
     n = len(scheme.tables)
     if set(scheme.labels) != set(scheme.tables):
@@ -101,7 +105,7 @@ def verify_tree_scheme(
                 )
 
     if sample_pairs > 0:
-        rng = random.Random(seed)
+        rng = rng if rng is not None else random.Random(seed)
         nodes = sorted(by_vertex, key=repr)
         parent_map = {v: t.parent for v, t in by_vertex.items()}
         for _ in range(sample_pairs):
@@ -125,6 +129,7 @@ def verify_graph_scheme(
     sample_pairs: int = 0,
     stretch_bound: Optional[float] = None,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> None:
     """Certify a general-graph scheme.
 
@@ -133,7 +138,8 @@ def verify_graph_scheme(
     the vertex's table holds a tree table for its own level-0 tree.  Every
     per-tree scheme is structurally verified.  With ``sample_pairs > 0``,
     routes random pairs, checks delivery over real edges, and (with
-    ``stretch_bound``) checks realized stretch.
+    ``stretch_bound``) checks realized stretch.  ``rng`` injects a
+    caller-owned pair-sampling stream, as in ``verify_tree_scheme``.
     """
     for tree_id, tree_scheme in scheme.tree_schemes.items():
         verify_tree_scheme(tree_scheme)
@@ -168,7 +174,7 @@ def verify_graph_scheme(
     if sample_pairs > 0:
         from ..graphs.paths import dijkstra
 
-        rng = random.Random(seed)
+        rng = rng if rng is not None else random.Random(seed)
         nodes = sorted(scheme.labels, key=repr)
         for _ in range(sample_pairs):
             u, v = rng.sample(nodes, 2)

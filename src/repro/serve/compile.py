@@ -28,7 +28,7 @@ The packed form is documented in docs/serving.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, IO, List, Optional, Tuple, Union
+from typing import IO, Any, Dict, Hashable, List, Optional, Tuple, Union
 
 import networkx as nx
 
@@ -115,6 +115,8 @@ class PackedLabel:
 @dataclass(frozen=True)
 class PackedEntry:
     """One usable level of a destination's graph label."""
+
+    __slots__ = ("level", "tree_index", "dist_to_root", "label")
 
     level: int
     tree_index: int

@@ -26,7 +26,7 @@ from ..graphs.paths import dijkstra
 from ..telemetry import events as _tele
 from ..telemetry.bounds import BoundVerdict
 from ..telemetry.runrecord import RunRecord, make_run_record
-from .compile import CompiledGraphScheme, Scheme, compile_scheme, _jsonable_summary
+from .compile import CompiledGraphScheme, Scheme, _jsonable_summary, compile_scheme
 from .engine import ServeEngine, ServeResult
 from .workloads import make_workload
 

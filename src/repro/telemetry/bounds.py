@@ -19,7 +19,7 @@ Every checker takes plain numbers so the module stays import-light
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 

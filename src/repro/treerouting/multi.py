@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+from typing import Dict, Hashable, Mapping, Optional
 
 from ..congest.bfs import BfsTree, build_bfs_tree
 from ..congest.network import Network

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Optional, Set
 
 from ..congest.primitives import Forest
 from ..errors import InputError
@@ -86,11 +86,14 @@ def partition_tree(
     q: Optional[float] = None,
     seed: int = 0,
     salt: str = "",
+    rng: Optional[random.Random] = None,
 ) -> TreePartition:
     """Sample U and build the local-tree partition of ``tree_parent``.
 
     ``salt`` lets the multi-tree runner give each tree an independent coin
-    sequence from one seed.  The root is always in U(T).
+    sequence from one seed.  The root is always in U(T).  Pass ``rng`` to
+    flip the per-vertex coins from a caller-owned :class:`random.Random`
+    stream (``seed`` and ``salt`` are then ignored).
     """
     root = tree_root(tree_parent)
     n = len(tree_parent)
@@ -98,7 +101,8 @@ def partition_tree(
         q = default_sampling_probability(n)
     if not (0.0 < q <= 1.0):
         raise InputError(f"sampling probability q={q} out of range")
-    rng = random.Random(f"tree-sample/{seed}/{salt}")
+    if rng is None:
+        rng = random.Random(f"tree-sample/{seed}/{salt}")
     ut: Set[NodeId] = {root}
     for v in sorted(tree_parent, key=repr):
         if rng.random() < q:

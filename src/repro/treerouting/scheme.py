@@ -22,8 +22,8 @@ from typing import Callable, Dict, Hashable, Mapping, Optional
 from ..congest.bfs import BfsTree, build_bfs_tree
 from ..congest.network import Network
 from ..graphs.validation import require_tree_in_graph
-from ..telemetry import events as _tele
 from ..routing.artifacts import TreeLabel, TreeRoutingScheme, TreeTable
+from ..telemetry import events as _tele
 from .sampling import TreePartition, partition_tree
 from .stage0_partition import run_stage0
 from .stage1_sizes import run_stage1

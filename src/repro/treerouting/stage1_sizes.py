@@ -23,8 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional
 
-from ..congest.network import Network
 from ..congest.bfs import BfsTree
+from ..congest.network import Network
 from ..congest.primitives import convergecast_up
 from ..errors import InvariantViolation
 from .localcomm import report_to_parents

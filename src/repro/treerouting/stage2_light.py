@@ -21,7 +21,7 @@ label) plus the transient local list.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, Tuple
 
 from ..congest.bfs import BfsTree
 from ..congest.network import Network

@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Sequence, Set
+from typing import Dict, Hashable, List, Optional, Sequence, Set
 
 from ..errors import InputError
 
@@ -66,13 +66,17 @@ def sample_hierarchy(
     k: int,
     *,
     seed: int = 0,
-    probability: float = None,
+    probability: Optional[float] = None,
+    rng: Optional[random.Random] = None,
 ) -> Hierarchy:
     """Sample the hierarchy with per-level probability ``n^{-1/k}``.
 
     Deterministic for a fixed ``(nodes, k, seed)``.  ``probability``
     overrides the default sampling rate (used by tests to force extreme
-    hierarchies).
+    hierarchies).  Pass ``rng`` to draw every coin from a caller-owned
+    :class:`random.Random` stream instead of the seed-derived ones
+    (``seed`` is then ignored; resampling attempts and the forced
+    fallback continue the same stream).
     """
     nodes = sorted(set(nodes), key=repr)
     n = len(nodes)
@@ -84,20 +88,23 @@ def sample_hierarchy(
     if not (0.0 < p <= 1.0):
         raise InputError(f"sampling probability {p} out of range")
     for attempt in range(64):
-        rng = random.Random(f"{seed}/{k}/{attempt}")
+        coins = (rng if rng is not None
+                 else random.Random(f"{seed}/{k}/{attempt}"))
         levels: List[Set[NodeId]] = [set(nodes)]
         for _ in range(1, k):
             prev = levels[-1]
-            levels.append({v for v in sorted(prev, key=repr) if rng.random() < p})
+            levels.append(
+                {v for v in sorted(prev, key=repr) if coins.random() < p}
+            )
         if k == 1 or levels[k - 1]:
             return Hierarchy(k=k, levels=levels)
     # Measure-zero fallback: force a deterministic chain so A_{k-1} != ∅.
-    rng = random.Random(f"{seed}/{k}/force")
-    forced = rng.choice(nodes)
+    coins = rng if rng is not None else random.Random(f"{seed}/{k}/force")
+    forced = coins.choice(nodes)
     levels = [set(nodes)]
     for _ in range(1, k):
         prev = levels[-1]
-        sampled = {v for v in sorted(prev, key=repr) if rng.random() < p}
+        sampled = {v for v in sorted(prev, key=repr) if coins.random() < p}
         sampled.add(forced)
         levels.append(sampled)
     return Hierarchy(k=k, levels=levels)

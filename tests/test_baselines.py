@@ -98,6 +98,12 @@ class TestLandmark:
         with pytest.raises(InputError):
             choose_landmarks(graph, 0, seed=1)
 
+    def test_injected_rng_overrides_seed(self):
+        graph = random_connected_graph(100, seed=152)
+        a = choose_landmarks(graph, 8, seed=0, rng=random.Random(4))
+        b = choose_landmarks(graph, 8, seed=99, rng=random.Random(4))
+        assert a == b and len(a) == 8
+
     def test_routing_delivers(self):
         graph = random_connected_graph(90, seed=153)
         scheme = build_landmark_scheme(graph, seed=2)

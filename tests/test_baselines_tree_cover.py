@@ -1,6 +1,5 @@
 """Tests for the hierarchical tree-cover baseline ([ABNLP90]-style)."""
 
-import math
 import random
 
 import pytest

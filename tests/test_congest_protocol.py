@@ -6,7 +6,6 @@ from repro.congest import Network, build_bfs_tree
 from repro.congest.protocol import (
     BfsProgram,
     FloodMax,
-    NodeApi,
     NodeProgram,
     run_protocol,
 )

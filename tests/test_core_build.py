@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.core import build_distributed_scheme
-from repro.errors import InputError, RoutingFailure
+from repro.errors import InputError
 from repro.graphs import grid_graph, random_connected_graph, ring_of_cliques
 from repro.routing import measure_stretch, route_in_graph, sample_pairs
 

@@ -8,13 +8,12 @@ from repro.congest import Network
 from repro.core.high_levels import (
     HighLevelConfig,
     approximate_pivot_distances,
-    build_approximate_cluster,
     build_high_level_clusters,
 )
 from repro.graphs import (
     VirtualGraphOracle,
-    distances_to_set,
     dijkstra,
+    distances_to_set,
     random_connected_graph,
 )
 from repro.hopsets import build_hopset

@@ -1,6 +1,5 @@
 """Unit tests for the exact low-level cluster phase (Appendix B)."""
 
-import math
 
 import pytest
 

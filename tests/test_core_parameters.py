@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.parameters import (
-    SchemePreset,
     all_regimes,
     expected_virtual_size,
     preset,

@@ -1,6 +1,5 @@
 """Edge-path coverage: error branches and uncommon inputs across layers."""
 
-import math
 
 import pytest
 

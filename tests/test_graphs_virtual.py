@@ -1,6 +1,5 @@
 """Unit tests for the implicit virtual-graph oracle (Appendix B setup)."""
 
-import math
 
 import pytest
 

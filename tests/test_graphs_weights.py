@@ -1,6 +1,5 @@
 """Unit tests for edge-weight quantization (standard-CONGEST adaptation)."""
 
-import math
 
 import pytest
 

@@ -1,11 +1,10 @@
 """Unit tests for the hopset container, construction, and measurement."""
 
-import math
 
 import pytest
 
 from repro.congest import Network
-from repro.errors import InputError, InvariantViolation
+from repro.errors import InputError
 from repro.graphs import VirtualGraphOracle, default_hop_bound, dijkstra, random_connected_graph
 from repro.hopsets import (
     Hopset,

@@ -3,7 +3,6 @@ powers of 1+ε (so messages fit O(log n) bits), then build and route with
 both the tree scheme and the general scheme.  The realized stretch against
 the ORIGINAL metric may grow by at most the quantization factor 1+ε."""
 
-import math
 import random
 
 import pytest

@@ -1,7 +1,6 @@
 """Property-based tests: cluster/bunch invariants and the hopset
 inequality over random weighted graphs."""
 
-import math
 
 from hypothesis import given, settings, strategies as st
 

@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.telemetry.regress import (
     Tolerances,
     classify,

@@ -1,14 +1,15 @@
 """Tests for the scheme certification utilities."""
 
 import dataclasses
+import random
 
 import pytest
 
-from repro.core import build_distributed_scheme
 from repro.congest import Network
+from repro.core import build_distributed_scheme
 from repro.errors import InvariantViolation
 from repro.graphs import random_connected_graph, spanning_tree_of
-from repro.routing import TreeLabel, TreeTable
+from repro.routing import TreeLabel
 from repro.routing.validation import verify_graph_scheme, verify_tree_scheme
 from repro.treerouting import build_distributed_tree_scheme
 from repro.tz import build_centralized_scheme, build_tree_scheme
@@ -34,6 +35,14 @@ class TestVerifyTreeScheme:
         graph, tree, _ = tree_case
         build = build_distributed_tree_scheme(Network(graph), tree, seed=1)
         verify_tree_scheme(build.scheme, tree, sample_pairs=10)
+
+    def test_injected_rng_draws_the_pair_sample(self, tree_case):
+        graph, tree, scheme = tree_case
+        verify_tree_scheme(
+            scheme, tree,
+            weight_of=lambda u, v: graph[u][v]["weight"],
+            sample_pairs=10, rng=random.Random(3),
+        )
 
     def test_detects_broken_enter_permutation(self, tree_case):
         _, tree, scheme = tree_case

@@ -6,10 +6,10 @@ import pytest
 
 from repro.errors import InputError
 from repro.graphs import random_connected_graph, spanning_tree_of
+from repro.routing.router import sample_pairs
 from repro.routing.serialization import save_scheme
 from repro.serve import ServeEngine, compile_from_json, compile_scheme
 from repro.serve.compile import NO_VERTEX, _jsonable_summary
-from repro.routing.router import sample_pairs
 from repro.tz import build_centralized_scheme, build_tree_scheme
 
 

@@ -3,6 +3,7 @@
 import random
 from collections import Counter
 
+import networkx as nx
 import pytest
 
 from repro.errors import InputError
@@ -15,8 +16,6 @@ from repro.serve import (
     uniform_pairs,
     zipf_pairs,
 )
-
-import networkx as nx
 
 
 @pytest.fixture(scope="module")

@@ -3,13 +3,10 @@ paper-bound checking)."""
 
 import json
 
-import pytest
-
 from repro.analysis import run_table2_recorded, table2_verdicts
 from repro.congest import Network
 from repro.graphs import random_connected_graph, spanning_tree_of
 from repro.telemetry import (
-    BoundVerdict,
     RunRecord,
     TelemetryCollector,
     all_passed,

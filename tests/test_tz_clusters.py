@@ -10,7 +10,6 @@ from repro.tz import (
     bunches,
     claim6_bound,
     compute_pivots,
-    exact_cluster_tree,
     max_cluster_membership,
     sample_hierarchy,
 )

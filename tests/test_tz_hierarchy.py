@@ -1,5 +1,7 @@
 """Unit tests for the TZ sampling hierarchy."""
 
+import random
+
 import pytest
 
 from repro.errors import InputError
@@ -55,6 +57,16 @@ class TestSampling:
         # |A_1| for n=1000, k=2 has mean sqrt(1000) ~ 31.6; allow wide slack.
         h = sample_hierarchy(range(1000), 2, seed=3)
         assert 10 <= len(h.levels[1]) <= 90
+
+    def test_injected_rng_overrides_seed(self):
+        a = sample_hierarchy(range(100), 3, seed=0, rng=random.Random(9))
+        b = sample_hierarchy(range(100), 3, seed=99, rng=random.Random(9))
+        assert a.levels == b.levels
+
+    def test_injected_rng_stream_matters(self):
+        a = sample_hierarchy(range(100), 3, rng=random.Random(9))
+        b = sample_hierarchy(range(100), 3, rng=random.Random(10))
+        assert a.levels != b.levels
 
 
 class TestLevelOf:
