@@ -21,6 +21,7 @@ from _util import emit, once
 
 from repro.errors import RoutingFailure
 from repro.graphs import random_connected_graph
+from repro.metrics import ServeMetrics
 from repro.routing.router import route_in_graph
 from repro.serve import ServeEngine, compile_scheme, run_serving
 from repro.tz import build_centralized_scheme
@@ -33,8 +34,50 @@ QUERIES = 8000
 #: the Zipf workload (ISSUE acceptance).  Measured ~3.5-4.5x; 3.0 is the
 #: contract.
 MIN_SPEEDUP = 3.0
+#: Gate: serving with the live metrics registry attached (S18) may cost
+#: at most this fraction of metrics-disabled throughput.  True cost is
+#: ~0% (batch-end counter adds; hop counting defers to scrape time), so
+#: the margin absorbs host noise the interleaved passes can't cancel.
+MAX_METRICS_OVERHEAD = 0.05
+#: Timing passes per configuration; best-of damps scheduler noise so the
+#: overhead ratio compares steady-state loops, not warmup jitter.
+PASSES = 8
 
 WORKLOADS = ("uniform", "zipf")
+
+
+def _one_pass(compiled, pairs, metrics):
+    """One cold route_many pass -> (wall qps, cpu qps)."""
+    eng = ServeEngine(compiled, cache_size=4096, metrics=metrics)
+    w0 = time.perf_counter()
+    c0 = time.process_time()
+    eng.route_many(pairs)
+    c1 = time.process_time()
+    w1 = time.perf_counter()
+    return len(pairs) / (w1 - w0), len(pairs) / (c1 - c0)
+
+
+def _engine_qps_pair(compiled, pairs):
+    """Best-of-``PASSES`` route_many throughput without and with a live
+    metrics bundle: ``(plain_qps, metrics_qps, overhead)``.
+
+    The reported q/s are wall clock (comparable to the reference
+    baseline), but the *overhead* ratio is computed from CPU time --
+    CI hosts share cores, and wall-clock steal was seen swinging the
+    ratio by +-20% between passes while the true cost is ~0%.  The two
+    arms are also interleaved pass by pass (plain, metrics, plain, ...)
+    on fresh cold engines so a sustained contention window taxes both
+    alike rather than skewing whichever arm ran second."""
+    best = {"plain_w": 0.0, "plain_c": 0.0, "on_w": 0.0, "on_c": 0.0}
+    for _ in range(PASSES):
+        w, c = _one_pass(compiled, pairs, None)
+        best["plain_w"] = max(best["plain_w"], w)
+        best["plain_c"] = max(best["plain_c"], c)
+        w, c = _one_pass(compiled, pairs, ServeMetrics())
+        best["on_w"] = max(best["on_w"], w)
+        best["on_c"] = max(best["on_c"], c)
+    overhead = max(0.0, 1.0 - best["on_c"] / best["plain_c"])
+    return best["plain_w"], best["on_w"], overhead
 
 
 def _reference_throughput(scheme, graph, pairs):
@@ -72,9 +115,8 @@ def _run():
         # Re-serve the identical stream cold for the timed comparison
         # (run_serving's per-query latency probes tax its own number).
         eng = ServeEngine(compiled, cache_size=4096)
-        started = time.perf_counter()
         eng.route_many(pairs)
-        eng_qps = len(pairs) / (time.perf_counter() - started)
+        eng_qps, metrics_qps, overhead = _engine_qps_pair(compiled, pairs)
 
         rows.append({
             "workload": workload,
@@ -82,6 +124,8 @@ def _run():
             "ref_qps": round(ref_qps),
             "engine_qps": round(eng_qps),
             "speedup": round(eng_qps / ref_qps, 2),
+            "metrics_qps": round(metrics_qps),
+            "metrics_overhead": round(overhead, 4),
             "cache_hit_rate": round(eng.cache.hit_rate, 4),
             "hops_p50": report.hops_p50,
             "hops_p99": report.hops_p99,
@@ -95,25 +139,30 @@ def bench_serve(benchmark):
     rows = once(benchmark, _run)
 
     header = (f"{'workload':<10} {'ref q/s':>10} {'engine q/s':>11} "
-              f"{'speedup':>8} {'hit rate':>9} {'SLO':>7}")
+              f"{'speedup':>8} {'metrics q/s':>12} {'overhead':>9} "
+              f"{'hit rate':>9} {'SLO':>7}")
     lines = [f"serve: packed engine vs reference (n={N}, k={K}, "
              f"{QUERIES} queries)", header]
     for row in rows:
         lines.append(
             f"{row['workload']:<10} {row['ref_qps']:>10} "
             f"{row['engine_qps']:>11} {row['speedup']:>7.2f}x "
+            f"{row['metrics_qps']:>12} {row['metrics_overhead']:>8.1%} "
             f"{row['cache_hit_rate']:>8.1%} {row['slo_fraction']:>7.2%}"
         )
     emit("serve", "\n".join(lines), data=rows,
          meta={"n": N, "k": K, "seed": SEED, "queries": QUERIES,
-               "min_speedup": MIN_SPEEDUP})
+               "min_speedup": MIN_SPEEDUP,
+               "max_metrics_overhead": MAX_METRICS_OVERHEAD})
 
     by_workload = {row["workload"]: row for row in rows}
     # The serving gate (cache-friendly regime).
     assert by_workload["zipf"]["speedup"] >= MIN_SPEEDUP, rows
     # Even with a cold, useless cache the packed tables must still win.
     assert by_workload["uniform"]["speedup"] >= 1.5, rows
-    # Every query lands within the 4k-3 stretch SLO on this family.
     for row in rows:
+        # Live metrics must stay effectively free on the serve loop (S18).
+        assert row["metrics_overhead"] <= MAX_METRICS_OVERHEAD, rows
         assert row["failures"] == 0, rows
+        # Every query lands within the 4k-3 stretch SLO on this family.
         assert row["slo_fraction"] == 1.0, rows

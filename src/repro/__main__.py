@@ -179,6 +179,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the serving RunRecord as JSON")
     serve.add_argument("--strict", action="store_true",
                        help="exit 1 if the stretch-SLO verdict fails")
+    serve.add_argument("--metrics-out", type=str, default=None,
+                       metavar="PATH",
+                       help="serve under the live metrics registry and "
+                            "write a Prometheus text-format snapshot "
+                            "(S18, docs/observability.md)")
+
+    mon = sub.add_parser(
+        "monitor", parents=[common],
+        help="replay a workload under live metrics and SLO burn-rate "
+             "alerting (S18)",
+    )
+    mon.add_argument("--workload", choices=list(WORKLOADS),
+                     default="uniform",
+                     help="traffic model (default: uniform)")
+    mon.add_argument("--queries", type=int, default=1000)
+    mon.add_argument("--n", type=int, default=200,
+                     help="graph size (random connected family)")
+    mon.add_argument("--k", type=int, default=3,
+                     help="hierarchy parameter of the built scheme")
+    mon.add_argument("--seed", type=int, default=0)
+    mon.add_argument("--builder", choices=("centralized", "distributed"),
+                     default="centralized",
+                     help="scheme construction (default: centralized)")
+    mon.add_argument("--mode", choices=("first", "best"), default="first")
+    mon.add_argument("--cache", type=int, default=4096, metavar="SIZE",
+                     help="LRU decision-cache entries (0 disables)")
+    mon.add_argument("--zipf-alpha", type=float, default=1.1)
+    mon.add_argument("--target-qps", type=float, default=1000.0,
+                     help="virtual replay rate driving the SLO windows "
+                          "(default 1000)")
+    mon.add_argument("--objective", type=float, default=0.99,
+                     help="stretch-SLO objective: required good fraction "
+                          "(default 0.99)")
+    mon.add_argument("--no-live", action="store_true",
+                     help="suppress the refreshing status line")
+    mon.add_argument("--metrics-out", type=str, default=None, metavar="PATH",
+                     help="write a Prometheus text-format snapshot")
+    mon.add_argument("--json", action="store_true",
+                     help="emit the monitor RunRecord as JSON")
+    mon.add_argument("--strict", action="store_true",
+                     help="exit 1 if the replay ends degraded (alert "
+                          "firing or error budget exhausted)")
 
     lint = sub.add_parser(
         "lint", parents=[common],
@@ -189,7 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: src/repro)")
     lint.add_argument("--rules", type=str, default=None, metavar="IDS",
                       help="comma-separated rule ids (default: all of "
-                           "REP001-REP005)")
+                           "REP001-REP006)")
     lint.add_argument("--baseline", type=str, default=None, metavar="PATH",
                       help="baseline file of grandfathered findings "
                            "(default: lint-baseline.json at the repo "
@@ -363,9 +405,9 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_serve(args: argparse.Namespace) -> int:
+def _built_scheme(args: argparse.Namespace):
+    """The (graph, scheme) pair the serve/monitor subcommands run against."""
     from .graphs import random_connected_graph
-    from .serve import run_serving, run_serving_recorded, slo_verdict
 
     graph = random_connected_graph(args.n, seed=args.seed)
     if args.builder == "centralized":
@@ -375,11 +417,22 @@ def _run_serve(args: argparse.Namespace) -> int:
         from .core import build_distributed_scheme
         scheme = build_distributed_scheme(graph, args.k,
                                           seed=args.seed).scheme
+    return graph, scheme
 
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from .serve import run_serving, run_serving_recorded, slo_verdict
+
+    graph, scheme = _built_scheme(args)
+
+    metrics = None
+    if args.metrics_out:
+        from .metrics import ServeMetrics
+        metrics = ServeMetrics(slo_objective=args.slo_target)
     kwargs = dict(
         workload=args.workload, queries=args.queries, seed=args.seed,
         mode=args.mode, cache_size=args.cache, zipf_alpha=args.zipf_alpha,
-        slo_target=args.slo_target,
+        slo_target=args.slo_target, metrics=metrics,
     )
     recorded = args.json or args.strict or args.profile
     if recorded:
@@ -396,6 +449,12 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.profile and record is not None:
         parts.append(render_profile(record.spans, record.counters,
                                     record.gauges))
+    if metrics is not None:
+        from .metrics import write_prometheus
+        write_prometheus(metrics.registry, args.metrics_out,
+                         now=report.serve_s)
+        if not args.json:
+            parts.append(f"metrics snapshot written to {args.metrics_out}")
     _deliver("\n\n".join(parts), args)
     if args.strict:
         verdict = slo_verdict(report)
@@ -404,6 +463,37 @@ def _run_serve(args: argparse.Namespace) -> int:
                   f"measured={verdict.measured} < target={verdict.limit}",
                   file=sys.stderr)
             return 1
+    return 0
+
+
+def _run_monitor(args: argparse.Namespace) -> int:
+    from .metrics import ServeMetrics, run_monitor, write_prometheus
+
+    graph, scheme = _built_scheme(args)
+    metrics = ServeMetrics(slo_objective=args.objective)
+    live = (not args.quiet and not args.json and not args.no_live
+            and sys.stderr.isatty())
+    report, record = run_monitor(
+        scheme, graph,
+        workload=args.workload, queries=args.queries, seed=args.seed,
+        mode=args.mode, cache_size=args.cache, zipf_alpha=args.zipf_alpha,
+        target_qps=args.target_qps, objective=args.objective,
+        metrics=metrics,
+        status_stream=sys.stderr if live else None,
+    )
+    parts = [record.to_json() if args.json else report.render()]
+    if args.metrics_out:
+        write_prometheus(metrics.registry, args.metrics_out,
+                         now=report.queries / args.target_qps)
+        if not args.json:
+            parts.append(f"metrics snapshot written to {args.metrics_out}")
+    _deliver("\n\n".join(parts), args)
+    if args.strict and not report.healthy:
+        alerts = ",".join(report.active_alerts) or "budget exhausted"
+        print(f"SLO degraded: {alerts} "
+              f"(budget remaining {report.budget_remaining:.1%})",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -471,6 +561,8 @@ def main(argv=None) -> int:
         return _run_trace(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "monitor":
+        return _run_monitor(args)
     if args.command == "lint":
         return _run_lint(args)
     if args.command == "dashboard":

@@ -9,6 +9,7 @@ REP002   unseeded randomness: every draw comes from an injected rng
 REP003   unaccounted sends: message widths derive from ``words_of``
 REP004   memory-meter bypass: vertex state growth is metered
 REP005   hot-path hygiene: loop-instantiated classes carry __slots__
+REP006   hot-path metric labels: intern once, no per-query dicts
 =======  ==========================================================
 
 Entry points: ``repro lint`` on the command line (findings land in the
@@ -22,6 +23,7 @@ from .rules import (
     ALL_RULES,
     RULES_BY_ID,
     CongestLocality,
+    HotLabelAllocation,
     HotPathHygiene,
     MemoryMeterBypass,
     UnaccountedSends,
@@ -47,6 +49,7 @@ __all__ = [
     "DEFAULT_BASELINE",
     "DEFAULT_PATHS",
     "Finding",
+    "HotLabelAllocation",
     "HotPathHygiene",
     "LintReport",
     "MemoryMeterBypass",

@@ -512,6 +512,113 @@ class _HotPathVisitor(ScopedVisitor):
 
 
 # ---------------------------------------------------------------------------
+# REP006 — hot-path metric labels
+# ---------------------------------------------------------------------------
+
+#: Packages whose query loops are gated by ``serve_metrics_overhead``.
+_LABEL_SEGMENTS = ("serve", "metrics")
+#: The registry's instrument-lookup methods: registration-time API, never
+#: to be called per query.
+_INSTRUMENT_LOOKUPS = {"counter", "gauge", "histogram", "meter"}
+
+
+class HotLabelAllocation(Rule):
+    """Metric labels on the serve path must be pre-interned, not built
+    per query.
+
+    Scope: the ``repro.serve`` and ``repro.metrics`` packages, inside
+    lexical loops and comprehensions (the per-query territory).  Flags:
+
+    * a ``labels=`` argument whose value is a dict literal or dict
+      comprehension -- one freshly allocated labels dict per iteration is
+      exactly the hidden cost the <= 5 % ``serve_metrics_overhead`` bench
+      gate exists to keep out (intern once, hold the tuple);
+    * calls to the registry's instrument-lookup methods
+      (``.counter(...)``, ``.gauge(...)``, ``.histogram(...)``,
+      ``.meter(...)``) -- lookup is registration-time API; hot code holds
+      the instrument object and mutates it directly.
+
+    Registration-time dicts (module level, ``__init__``, outside loops)
+    are fine -- ``intern_labels`` accepts a Mapping there on purpose.
+    """
+
+    id = "REP006"
+    title = "hot-path metric labels: intern once, no per-query dicts"
+    invariant = ("The <= 5% serve_metrics_overhead gate (BENCH_serve) "
+                 "assumes instrumentation adds attribute arithmetic per "
+                 "query, not a dict allocation plus a registry lookup.")
+
+    def check_module(self, mod: ModuleInfo) -> List[Finding]:
+        if _label_segment(mod.relpath) is None:
+            return []
+        visitor = _LabelVisitor(self, mod)
+        visitor.visit(mod.tree)
+        return visitor.findings
+
+
+def _label_segment(relpath: str) -> Optional[str]:
+    parts = relpath.split("/")
+    for seg in _LABEL_SEGMENTS:
+        if seg in parts:
+            return seg
+    return None
+
+
+class _LabelVisitor(ScopedVisitor):
+    def __init__(self, rule: Rule, mod: ModuleInfo) -> None:
+        super().__init__(rule, mod)
+        self._loop_depth = 0
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._loop_depth -= 1
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+    visit_While = _visit_loop
+    visit_ListComp = _visit_loop
+    visit_SetComp = _visit_loop
+    visit_DictComp = _visit_loop
+    visit_GeneratorExp = _visit_loop
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._loop_depth > 0:
+            for kw in node.keywords:
+                if kw.arg == "labels" and isinstance(
+                        kw.value, (ast.Dict, ast.DictComp)):
+                    self.emit(kw.value,
+                              "labels dict allocated inside a loop: "
+                              "intern the label tuple once "
+                              "(intern_labels) and hold the instrument")
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _INSTRUMENT_LOOKUPS
+                    and _is_registry_receiver(func.value)):
+                self.emit(node,
+                          f".{func.attr}(...) instrument lookup inside a "
+                          "loop: resolve instruments at registration "
+                          "time, mutate the held object per query")
+        self.generic_visit(node)
+
+
+def _is_registry_receiver(node: ast.AST) -> bool:
+    """Heuristic: the receiver chain names a registry (``reg``,
+    ``registry``, ``self.registry``, ...)."""
+    for sub in ast.walk(node):
+        label = None
+        if isinstance(sub, ast.Attribute):
+            label = sub.attr
+        elif isinstance(sub, ast.Name):
+            label = sub.id
+        if label is not None and ("registry" in label or label == "reg"):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -521,6 +628,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     UnaccountedSends,
     MemoryMeterBypass,
     HotPathHygiene,
+    HotLabelAllocation,
 )
 
 RULES_BY_ID: Dict[str, Type[Rule]] = {r.id: r for r in ALL_RULES}

@@ -1,0 +1,252 @@
+"""Prometheus text exposition: render a registry, parse it back.
+
+``render_prometheus`` writes the classic text format
+(https://prometheus.io/docs/instrumenting/exposition_formats/): one
+``# HELP`` / ``# TYPE`` block per family, samples as
+``name{label="value"} number``.  Histograms follow the native histogram
+text convention -- cumulative ``_bucket{le="..."}`` series over the
+sketch's log-bucket upper bounds plus ``_sum`` / ``_count`` -- so the
+snapshot is directly scrapeable/graphable.  Rate meters export as two
+series: the monotone ``<name>_total`` counter and a ``<name>_per_s``
+gauge of the current windowed rate.
+
+``parse_prometheus`` is the structural inverse used by the test suite
+and by anything that wants to diff two snapshots: it validates HELP/TYPE
+ordering, sample syntax, bucket monotonicity, and the
+``+Inf``-bucket-equals-``_count`` histogram invariant, returning
+families as plain dicts.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .registry import MetricsRegistry
+
+__all__ = ["parse_prometheus", "render_prometheus", "write_prometheus"]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _fmt_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: Tuple[Tuple[str, str], ...],
+                 extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    items = tuple(labels) + tuple(extra)
+    if not items:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in items)
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: "MetricsRegistry", *,
+                      now: Optional[float] = None) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    import time as _time
+
+    now = _time.time() if now is None else now
+    lines: List[str] = []
+    for family in registry.families():
+        name = family.name
+        if family.help:
+            lines.append(f"# HELP {name} {_escape_help(family.help)}")
+        ftype = {"meter": "gauge"}.get(family.type, family.type)
+        if family.type == "meter":
+            lines.append(f"# TYPE {name}_total counter")
+            for key, inst in family.series.items():
+                lines.append(f"{name}_total{_labels_text(key)} "
+                             f"{_fmt_value(inst.total)}")
+            lines.append(f"# TYPE {name}_per_s gauge")
+            for key, inst in family.series.items():
+                lines.append(f"{name}_per_s{_labels_text(key)} "
+                             f"{_fmt_value(inst.rate(now))}")
+            continue
+        lines.append(f"# TYPE {name} {ftype}")
+        for key, inst in family.series.items():
+            if family.type == "histogram":
+                cumulative = 0
+                for upper, count in inst.sketch.bucket_bounds():
+                    cumulative += count
+                    le = ("0" if upper == 0.0
+                          else repr(round(float(upper), 9)))
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels_text(key, (('le', le),))} {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_labels_text(key, (('le', '+Inf'),))} "
+                    f"{inst.sketch.count}"
+                )
+                lines.append(f"{name}_sum{_labels_text(key)} "
+                             f"{_fmt_value(inst.sketch.total)}")
+                lines.append(f"{name}_count{_labels_text(key)} "
+                             f"{inst.sketch.count}")
+            else:
+                lines.append(f"{name}{_labels_text(key)} "
+                             f"{_fmt_value(inst.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: "MetricsRegistry",
+                     path: Union[str, Path], *,
+                     now: Optional[float] = None) -> Path:
+    """Render the registry to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_prometheus(registry, now=now))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Parsing (structural validation for tests and snapshot diffing)
+# ---------------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"\s*(?:,|$)'
+)
+
+
+class ExpositionError(ValueError):
+    """A structural violation in Prometheus exposition text."""
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        match = _LABEL_RE.match(text, pos)
+        if match is None:
+            raise ExpositionError(f"malformed label segment: {text[pos:]!r}")
+        value = (match.group("value")
+                 .replace('\\"', '"').replace("\\n", "\n")
+                 .replace("\\\\", "\\"))
+        labels[match.group("key")] = value
+        pos = match.end()
+    return labels
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        raise ExpositionError(f"malformed sample value {text!r}")
+
+
+def _base_family(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse exposition text into ``{family: {type, help, samples}}``.
+
+    ``samples`` is a list of ``(metric_name, labels_dict, value)``.
+    Raises :class:`ExpositionError` on structural violations: a sample
+    before its ``# TYPE``, malformed lines, non-monotone histogram
+    buckets, or a ``+Inf`` bucket disagreeing with ``_count``.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise ExpositionError(f"line {lineno}: malformed HELP")
+            fam = families.setdefault(
+                _base_family(parts[2]),
+                {"type": None, "help": "", "samples": []})
+            fam["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ExpositionError(f"line {lineno}: malformed TYPE")
+            _, _, name, ftype = parts
+            if ftype not in ("counter", "gauge", "histogram", "summary",
+                             "untyped"):
+                raise ExpositionError(
+                    f"line {lineno}: unknown type {ftype!r}")
+            fam = families.setdefault(
+                _base_family(name),
+                {"type": None, "help": "", "samples": []})
+            fam.setdefault("types", {})[name] = ftype
+            if fam["type"] is None:
+                fam["type"] = ftype
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ExpositionError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        base = _base_family(name)
+        fam = families.get(base)
+        if fam is None or fam["type"] is None:
+            raise ExpositionError(
+                f"line {lineno}: sample {name!r} before its # TYPE")
+        labels = _parse_labels(match.group("labels") or "")
+        fam["samples"].append((name, labels, _parse_value(match.group("value"))))
+
+    for base, fam in families.items():
+        if fam["type"] != "histogram":
+            continue
+        buckets = [(s[1], s[2]) for s in fam["samples"]
+                   if s[0] == base + "_bucket"]
+        counts = {tuple(sorted((k, v) for k, v in s[1].items())): s[2]
+                  for s in fam["samples"] if s[0] == base + "_count"}
+        by_series: Dict[Tuple, List[Tuple[float, float]]] = {}
+        for labels, value in buckets:
+            le = labels.get("le")
+            if le is None:
+                raise ExpositionError(f"{base}_bucket sample without 'le'")
+            rest = tuple(sorted((k, v) for k, v in labels.items()
+                                if k != "le"))
+            bound = math.inf if le == "+Inf" else float(le)
+            by_series.setdefault(rest, []).append((bound, value))
+        for rest, series in by_series.items():
+            series.sort()
+            values = [v for _, v in series]
+            if values != sorted(values):
+                raise ExpositionError(
+                    f"{base}: histogram buckets not cumulative")
+            if series[-1][0] != math.inf:
+                raise ExpositionError(f"{base}: missing +Inf bucket")
+            total = counts.get(rest)
+            if total is not None and series[-1][1] != total:
+                raise ExpositionError(
+                    f"{base}: +Inf bucket {series[-1][1]} != _count {total}")
+    return families

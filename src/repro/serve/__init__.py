@@ -25,6 +25,7 @@ from .compile import (
 )
 from .engine import DecisionCache, ServeEngine, ServeResult
 from .harness import (
+    SKETCH_ACCURACY,
     ServeReport,
     percentile,
     run_serving,
@@ -41,6 +42,7 @@ from .workloads import (
 )
 
 __all__ = [
+    "SKETCH_ACCURACY",
     "CompiledGraphScheme",
     "CompiledScheme",
     "CompiledTreeScheme",

@@ -23,6 +23,8 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 import networkx as nx
 
 from ..graphs.paths import dijkstra
+from ..metrics.serve import ServeMetrics
+from ..metrics.sketch import QuantileSketch
 from ..telemetry import events as _tele
 from ..telemetry.bounds import BoundVerdict
 from ..telemetry.runrecord import RunRecord, make_run_record
@@ -32,9 +34,21 @@ from .workloads import make_workload
 
 NodeId = Hashable
 
+#: Relative accuracy of the harness percentile sketches.  0.005 keeps
+#: integer hop percentiles *exact* after rounding for paths under 100
+#: hops (``alpha * h < 0.5``), so the hard-gated ``hops_p50``/``hops_p99``
+#: trajectory columns cannot drift.
+SKETCH_ACCURACY = 0.005
+
 
 def percentile(values: Sequence[float], p: float) -> float:
-    """Nearest-rank percentile (p in [0, 100]) of a non-empty sequence."""
+    """Nearest-rank percentile (p in [0, 100]) of a non-empty sequence.
+
+    The exact reference implementation: report percentiles are computed
+    through :class:`~repro.metrics.sketch.QuantileSketch` (one pass, no
+    sort), and the differential tests check the sketch against this
+    function within the configured relative error.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
@@ -67,12 +81,35 @@ class ServeReport:
     slo_fraction: Optional[float] = None
     slo_target: Optional[float] = None
     packed: Dict[str, Any] = field(default_factory=dict)
+    #: per-distribution quantile sketches ("hops", "latency_us", and
+    #: "stretch" when the SLO ran) -- the source of the report's
+    #: percentile columns, queryable at any rank via ``quantiles()``.
+    sketches: Dict[str, QuantileSketch] = field(
+        default_factory=dict, repr=False, compare=False)
+    #: live-metrics snapshot (populated when ``run_serving`` is given a
+    #: :class:`~repro.metrics.ServeMetrics` bundle).
+    metrics: Dict[str, Any] = field(
+        default_factory=dict, repr=False, compare=False)
 
     @property
     def slo_ok(self) -> Optional[bool]:
         if self.slo_fraction is None or self.slo_target is None:
             return None
         return self.slo_fraction >= self.slo_target
+
+    def quantiles(self, name: str = "latency_us",
+                  qs: Sequence[float] = (0.5, 0.9, 0.99)) -> List[float]:
+        """Arbitrary-rank quantiles of a recorded distribution.
+
+        ``name`` is one of the ``sketches`` keys (``"hops"``,
+        ``"latency_us"``, or ``"stretch"`` on SLO-checked runs); each
+        estimate is within :data:`SKETCH_ACCURACY` relative error.
+        """
+        sketch = self.sketches.get(name)
+        if sketch is None:
+            raise KeyError(
+                f"no {name!r} sketch (have {sorted(self.sketches)})")
+        return sketch.quantiles(qs)
 
     def to_row(self) -> Dict[str, Any]:
         """One flat, JSON-ready row (RunRecord column / bench twin)."""
@@ -155,23 +192,31 @@ def run_serving(
     slo_bound: Optional[float] = None,
     slo_target: float = 0.99,
     engine: Optional[ServeEngine] = None,
+    metrics: Optional[ServeMetrics] = None,
 ) -> Tuple[ServeReport, List[ServeResult]]:
     """Serve ``queries`` seeded queries of ``workload`` against ``scheme``.
 
     ``slo_bound`` defaults to the paper's ``4k-3`` for graph schemes (the
     SLO is skipped for tree schemes, whose tree routing is exact).  Pass a
     prebuilt ``engine`` to serve with a warm cache; by default the run
-    compiles fresh and starts cold.
+    compiles fresh and starts cold.  Pass a
+    :class:`~repro.metrics.ServeMetrics` bundle to emit into the live
+    registry (counters, QPS meter, hop/latency/stretch histograms with
+    worst-stretch exemplars, SLO budget); the report then carries the
+    registry snapshot in its ``metrics`` section.
     """
     with _tele.span("serve/run", workload=workload, queries=queries):
         started = time.perf_counter()
         if engine is None:
             compiled = compile_scheme(scheme, graph)
-            engine = ServeEngine(compiled, mode=mode, cache_size=cache_size)
+            engine = ServeEngine(compiled, mode=mode, cache_size=cache_size,
+                                 metrics=metrics)
         else:
             compiled = engine.compiled
             mode = engine.mode
             cache_size = engine.cache.maxsize
+            if metrics is not None and engine.metrics is None:
+                engine.metrics = metrics
         compile_s = time.perf_counter() - started
 
         with _tele.span("serve/workload", workload=workload):
@@ -183,14 +228,19 @@ def run_serving(
 
         perf_counter = time.perf_counter
         route_recorded = engine.route_recorded
-        latencies_us: List[float] = []
+        lat_sketch = QuantileSketch(SKETCH_ACCURACY)
+        lat_add = lat_sketch.add
+        observe = metrics.observe_query if metrics is not None else None
         results: List[ServeResult] = []
         with _tele.span("serve/queries", count=len(pairs)):
             serve_started = perf_counter()
             for u, v in pairs:
                 q0 = perf_counter()
                 results.append(route_recorded(u, v))
-                latencies_us.append((perf_counter() - q0) * 1e6)
+                q1 = perf_counter()
+                lat_add((q1 - q0) * 1e6)
+                if observe is not None:
+                    observe((q1 - q0) * 1e6, q1 - serve_started)
             serve_s = perf_counter() - serve_started
         _tele.emit("serve.queries", len(results))
         _tele.emit("serve.failures", engine.failures)
@@ -198,11 +248,30 @@ def run_serving(
         if slo_bound is None and isinstance(compiled, CompiledGraphScheme):
             slo_bound = 4.0 * compiled.k - 3.0
         slo_fraction = None
+        stretch_sketch: Optional[QuantileSketch] = None
         if slo_bound is not None:
             with _tele.span("serve/slo", bound=slo_bound):
-                slo_fraction = _slo_fraction(graph, results, slo_bound)
+                stretches = _per_query_stretch(graph, results)
+            within = sum(1 for s in stretches
+                         if s is not None and s <= slo_bound + 1e-9)
+            slo_fraction = within / len(results) if results else 1.0
+            stretch_sketch = QuantileSketch(SKETCH_ACCURACY)
+            for s in stretches:
+                if s is not None:
+                    stretch_sketch.add(s)
+            if metrics is not None:
+                _feed_stretch_metrics(metrics, results, stretches,
+                                      slo_bound, serve_s)
 
-        hops = [r.hops for r in results if r.ok] or [0]
+        hops_sketch = QuantileSketch(SKETCH_ACCURACY)
+        for r in results:
+            if r.ok:
+                hops_sketch.add(r.hops)
+        if hops_sketch.count == 0:
+            hops_sketch.add(0)
+        sketches = {"hops": hops_sketch, "latency_us": lat_sketch}
+        if stretch_sketch is not None:
+            sketches["stretch"] = stretch_sketch
         stats = engine.stats()
         report = ServeReport(
             workload=workload,
@@ -213,19 +282,23 @@ def run_serving(
             compile_s=compile_s,
             serve_s=serve_s,
             throughput_qps=len(results) / serve_s if serve_s > 0 else 0.0,
-            hops_p50=percentile(hops, 50),
-            hops_p90=percentile(hops, 90),
-            hops_p99=percentile(hops, 99),
-            hops_max=max(hops),
-            latency_us_p50=percentile(latencies_us, 50),
-            latency_us_p90=percentile(latencies_us, 90),
-            latency_us_p99=percentile(latencies_us, 99),
+            # Hop percentiles stay exact integers (alpha * hops < 0.5).
+            hops_p50=float(round(hops_sketch.quantile(0.5))),
+            hops_p90=float(round(hops_sketch.quantile(0.9))),
+            hops_p99=float(round(hops_sketch.quantile(0.99))),
+            hops_max=float(hops_sketch.max_value or 0.0),
+            latency_us_p50=lat_sketch.quantile(0.5),
+            latency_us_p90=lat_sketch.quantile(0.9),
+            latency_us_p99=lat_sketch.quantile(0.99),
             cache_hit_rate=stats["cache_hit_rate"],
             failures=engine.failures,
             slo_bound=slo_bound,
             slo_fraction=slo_fraction,
             slo_target=slo_target if slo_fraction is not None else None,
             packed=_jsonable_summary(compiled),
+            sketches=sketches,
+            metrics=(metrics.snapshot(now=serve_s)
+                     if metrics is not None else {}),
         )
         if slo_fraction is not None:
             _tele.gauge("serve.slo_fraction", slo_fraction)
@@ -256,6 +329,7 @@ def run_serving_recorded(
         columns=[report.to_row()],
         verdicts=[verdict] if verdict is not None else [],
         collector=tele,
+        metrics=report.metrics,
         wall_s=time.perf_counter() - started,
     )
     return report, record
@@ -279,27 +353,56 @@ def _route_length_probe(compiled, graph: nx.Graph, mode: str):
     return route_length
 
 
-def _slo_fraction(
+def _per_query_stretch(
     graph: nx.Graph,
     results: Sequence[ServeResult],
-    bound: float,
-) -> float:
-    """Fraction of queries delivered within ``bound`` times the exact
-    distance (failed queries count as violations), one Dijkstra per
-    distinct source like ``measure_stretch``."""
-    if not results:
-        return 1.0
-    by_source: Dict[NodeId, List[ServeResult]] = {}
-    for r in results:
-        by_source.setdefault(r.source, []).append(r)
-    within = 0
-    for source, rs in by_source.items():
+) -> List[Optional[float]]:
+    """Stretch per query (None for failures, which count as violations),
+    one Dijkstra per distinct source like ``measure_stretch``."""
+    by_source: Dict[NodeId, List[int]] = {}
+    for i, r in enumerate(results):
+        by_source.setdefault(r.source, []).append(i)
+    out: List[Optional[float]] = [None] * len(results)
+    for source, indices in by_source.items():
         dist, _ = dijkstra(graph, [source])
-        for r in rs:
+        for i in indices:
+            r = results[i]
             if not r.ok:
                 continue
             exact = dist.get(r.target, 0.0)
-            stretch = r.length / exact if exact > 0 else 1.0
-            if stretch <= bound + 1e-9:
-                within += 1
-    return within / len(results)
+            out[i] = r.length / exact if exact > 0 else 1.0
+    return out
+
+
+def _feed_stretch_metrics(
+    metrics: ServeMetrics,
+    results: Sequence[ServeResult],
+    stretches: Sequence[Optional[float]],
+    slo_bound: float,
+    serve_s: float,
+) -> None:
+    """Replay per-query stretch into the live bundle after the fact.
+
+    The serve loop measures latency online but stretch needs the exact
+    distances, so the SLO feed happens post-hoc: each query is scored at
+    the virtual time it was (approximately) served, spreading the batch
+    uniformly over ``serve_s``.
+    """
+    tick = serve_s / len(results) if results else 0.0
+    hist = metrics.stretch
+    slo = metrics.slo
+    for i, (r, stretch) in enumerate(zip(results, stretches)):
+        now = (i + 1) * tick
+        if stretch is not None:
+            hist.sketch.add(stretch)
+            if hist.wants_exemplar(stretch):
+                hist.offer_exemplar(stretch, {
+                    "source": repr(r.source),
+                    "target": repr(r.target),
+                    "hops": r.hops,
+                    "path_prefix": [repr(x) for x in r.path[:4]],
+                    "cached": r.cached,
+                })
+        bad = stretch is None or stretch > slo_bound + 1e-9
+        slo.record(0.0 if bad else 1.0, 1.0 if bad else 0.0, now)
+    metrics.budget_gauge.value = slo.budget_remaining

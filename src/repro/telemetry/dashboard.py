@@ -346,6 +346,79 @@ def _span_rows(spans: List[Dict[str, Any]], depth: int = 0
     return out
 
 
+def _metrics_panel(metrics: Dict[str, Any]) -> str:
+    """The live-metrics panel: registry snapshot + SLO budget/alerts.
+
+    Renders the ``metrics`` section a serve/monitor RunRecord carries
+    (see :mod:`repro.metrics`): scalar instruments in one table,
+    histogram families with their sketch quantiles in another, and the
+    SLO burn-rate state with pass/warn/fail badges.
+    """
+    scalar_rows: List[Dict[str, Any]] = []
+    hist_rows: List[Dict[str, Any]] = []
+    for name, family in metrics.items():
+        if name == "slo" or not isinstance(family, dict):
+            continue
+        ftype = family.get("type")
+        for series in family.get("series") or []:
+            labels = series.get("labels") or {}
+            shown = name + (
+                "{" + ",".join(f"{k}={v}" for k, v in labels.items()) + "}"
+                if labels else "")
+            if ftype == "histogram":
+                quantiles = series.get("quantiles") or {}
+                hist_rows.append({
+                    "histogram": shown,
+                    "count": series.get("count", 0),
+                    "p50": quantiles.get("0.5"),
+                    "p90": quantiles.get("0.9"),
+                    "p99": quantiles.get("0.99"),
+                    "max": series.get("max"),
+                })
+            elif ftype == "meter":
+                scalar_rows.append({
+                    "metric": shown, "type": ftype,
+                    "value": series.get("rate_per_s"),
+                    "total": series.get("total"),
+                })
+            else:
+                scalar_rows.append({
+                    "metric": shown, "type": ftype,
+                    "value": series.get("value"), "total": "",
+                })
+    parts = ["<h3>Live metrics</h3>"]
+    if scalar_rows:
+        parts.append(_rows_table(scalar_rows))
+    if hist_rows:
+        parts.append(_rows_table(hist_rows))
+    slo = metrics.get("slo")
+    if isinstance(slo, dict):
+        budget = slo.get("budget_remaining", 1.0)
+        active = slo.get("active_alerts") or []
+        status = ("fail" if active
+                  else "warn" if budget < 0.5 else "pass")
+        parts.append(
+            f"<h3>SLO · {_esc(slo.get('name', '?'))} {_badge(status)}</h3>"
+            f'<p class="mono">objective {_fmt(slo.get("objective", "?"))} · '
+            f"error rate {_fmt(slo.get('error_rate', 0))} · "
+            f"budget remaining {_fmt(budget)}"
+            + (f" · firing: {_esc(','.join(active))}" if active else "")
+            + "</p>"
+        )
+        alerts = slo.get("alerts") or []
+        if alerts:
+            items = "".join(
+                f"<li>{_badge('fail' if a.get('state') == 'firing' else 'pass')} "
+                f"{_esc(a.get('rule', '?'))} {_esc(a.get('state', '?'))} "
+                f'<span class="mono">at t={_fmt(a.get("at", 0))}s, '
+                f"burn {_fmt(a.get('burn_rate', 0))}x "
+                f"(threshold {_fmt(a.get('threshold', 0))}x)</span></li>"
+                for a in alerts[:12]
+            )
+            parts.append(f'<ul class="verdicts">{items}</ul>')
+    return "".join(parts)
+
+
 def _record_section(record: Dict[str, Any], label: str) -> str:
     spans = record.get("spans") or []
     rows = _span_rows(spans)
@@ -382,6 +455,9 @@ def _record_section(record: Dict[str, Any], label: str) -> str:
         f"<tbody>{''.join(body)}</tbody></table>"
         if rows else '<p class="mono">(no spans recorded)</p>',
     ]
+    live = record.get("metrics")
+    if isinstance(live, dict) and live:
+        parts.append(_metrics_panel(live))
     flight = record.get("flight")
     if flight:
         recorders = flight if isinstance(flight, list) else [flight]

@@ -51,6 +51,7 @@ class RunRecord:
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
     flight: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
     wall_s: float = 0.0
     peak_rss_kb: Optional[int] = None
     package_version: str = ""
@@ -95,6 +96,8 @@ class RunRecord:
         }
         if self.flight:
             out["flight"] = self.flight
+        if self.metrics:
+            out["metrics"] = _jsonable(self.metrics)
         return out
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
@@ -113,6 +116,7 @@ class RunRecord:
             counters=dict(d.get("counters", {})),
             gauges=dict(d.get("gauges", {})),
             flight=list(d.get("flight", [])),
+            metrics=dict(d.get("metrics", {})),
             wall_s=float(d.get("wall_s", 0.0)),
             peak_rss_kb=d.get("peak_rss_kb"),
             package_version=d.get("package_version", ""),
@@ -141,13 +145,16 @@ def make_run_record(
     verdicts: Optional[List[BoundVerdict]] = None,
     collector: Optional[TelemetryCollector] = None,
     flight: Optional[List[Dict[str, Any]]] = None,
+    metrics: Optional[Dict[str, Any]] = None,
     wall_s: float = 0.0,
 ) -> RunRecord:
     """Assemble a RunRecord from measurements plus an optional collector.
 
     ``flight`` takes flight-recorder ``to_dict()`` payloads (one per
     recorded network, e.g. ``session.to_dicts()`` from
-    :class:`repro.telemetry.flight.auto`).
+    :class:`repro.telemetry.flight.auto`); ``metrics`` a live-metrics
+    snapshot (:meth:`repro.metrics.ServeMetrics.snapshot`), serialized
+    only when non-empty.
     """
     record = RunRecord(
         kind=kind,
@@ -155,6 +162,7 @@ def make_run_record(
         columns=columns,
         verdicts=list(verdicts or []),
         flight=list(flight or []),
+        metrics=dict(metrics or {}),
         wall_s=wall_s,
     )
     if collector is not None:

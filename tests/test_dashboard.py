@@ -103,3 +103,35 @@ class TestBuild:
                      str(tmp_path), "--record", str(rec), "--quiet"])
         assert code == 0
         assert "fig/tree-rounds" in out.read_text()
+
+
+class TestMetricsPanel:
+    def test_monitor_record_renders_live_metrics(self, tmp_path):
+        from repro.graphs import random_connected_graph
+        from repro.metrics import run_monitor
+        from repro.tz import build_centralized_scheme
+
+        graph = random_connected_graph(50, seed=5)
+        scheme = build_centralized_scheme(graph, 2, seed=5)
+        _, record = run_monitor(scheme, graph, queries=150, seed=5)
+        rec = tmp_path / "monitor.json"
+        rec.write_text(record.to_json())
+        html = render_dashboard([], record_paths=[rec])
+        assert "Live metrics" in html
+        assert "repro_serve_queries_total" in html
+        assert "repro_serve_latency_us" in html
+        assert "SLO" in html and "budget remaining" in html
+
+    def test_degraded_monitor_record_shows_alerts(self, tmp_path):
+        from repro.graphs import random_connected_graph
+        from repro.metrics import run_monitor
+        from repro.tz import build_centralized_scheme
+
+        graph = random_connected_graph(50, seed=6)
+        scheme = build_centralized_scheme(graph, 2, seed=6)
+        _, record = run_monitor(scheme, graph, queries=400, seed=6,
+                                slo_bound=0.5, target_qps=100.0)
+        rec = tmp_path / "degraded.json"
+        rec.write_text(record.to_json())
+        html = render_dashboard([], record_paths=[rec])
+        assert "firing" in html

@@ -364,6 +364,69 @@ class TestHotPathHygiene:
 
 
 # ---------------------------------------------------------------------------
+# REP006 — hot-path metric labels
+# ---------------------------------------------------------------------------
+
+class TestHotLabelAllocation:
+    def test_labels_dict_in_loop_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def serve_all(registry, queries):
+                for q in queries:
+                    registry.counter("served_total",
+                                     labels={"workload": q.kind}).inc()
+        """, rules="REP006", relpath="src/repro/serve/snippet.py")
+        assert rule_ids(report) == ["REP006"]
+        messages = [f.message for f in report.findings]
+        assert any("labels dict" in m for m in messages)
+        assert any("instrument lookup" in m for m in messages)
+
+    def test_labels_dict_comprehension_in_loop_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def mark(meter, batches):
+                while batches:
+                    b = batches.pop()
+                    record(b, labels={k: v for k, v in b.tags})
+        """, rules="REP006", relpath="src/repro/metrics/snippet.py")
+        assert rule_ids(report) == ["REP006"]
+
+    def test_lookup_inside_comprehension_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def gauges(reg, names):
+                return [reg.gauge(n) for n in names]
+        """, rules="REP006", relpath="src/repro/metrics/snippet.py")
+        assert rule_ids(report) == ["REP006"]
+
+    def test_registration_time_dict_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            class Bundle:
+                def __init__(self, registry, workload):
+                    self.served = registry.counter(
+                        "served_total", labels={"workload": workload})
+
+                def on_batch(self, n):
+                    for _ in range(n):
+                        self.served.inc()
+        """, rules="REP006", relpath="src/repro/serve/snippet.py")
+        assert report.clean
+
+    def test_held_instrument_mutation_in_loop_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def drain(counter, events):
+                for e in events:
+                    counter.inc(e.weight)
+        """, rules="REP006", relpath="src/repro/serve/snippet.py")
+        assert report.clean
+
+    def test_other_packages_are_out_of_scope(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def tally(registry, rounds):
+                for r in rounds:
+                    registry.counter("rounds", labels={"phase": r.phase})
+        """, rules="REP006", relpath="src/repro/congest/snippet.py")
+        assert report.clean
+
+
+# ---------------------------------------------------------------------------
 # Pragmas, baseline, runner
 # ---------------------------------------------------------------------------
 

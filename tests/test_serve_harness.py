@@ -7,6 +7,7 @@ import pytest
 from repro.__main__ import build_parser, main
 from repro.graphs import random_connected_graph, spanning_tree_of
 from repro.serve import (
+    SKETCH_ACCURACY,
     ServeEngine,
     compile_scheme,
     percentile,
@@ -206,3 +207,46 @@ class TestServeCli:
         rc = main(["serve", "--n", "40", "--k", "2", "--queries", "40",
                    "--builder", "distributed", "--quiet"])
         assert rc == 0
+
+
+class TestReportQuantiles:
+    """The sketch-backed percentile path, differentially tested against
+    the exact ``percentile`` reference (S18 satellite)."""
+
+    @pytest.mark.parametrize("workload",
+                             ["uniform", "zipf", "gravity", "adversarial"])
+    def test_hops_sketch_matches_exact(self, built, workload):
+        graph, scheme = built
+        report, results = run_serving(scheme, graph, workload=workload,
+                                      queries=500, seed=11)
+        hops = [len(r.path) - 1 for r in results if r.ok]
+        for q in (0.5, 0.9, 0.99):
+            exact = percentile(hops, q * 100)
+            est = report.quantiles("hops", (q,))[0]
+            assert abs(est - exact) <= SKETCH_ACCURACY * exact + 1e-9, \
+                (workload, q)
+        # The report's own hop columns are the rounded sketch estimates,
+        # which the 0.005 accuracy keeps integer-exact below 100 hops.
+        assert report.hops_p50 == percentile(hops, 50)
+        assert report.hops_p99 == percentile(hops, 99)
+
+    def test_latency_quantiles_consistent_with_columns(self, built):
+        graph, scheme = built
+        report, _ = run_serving(scheme, graph, queries=300, seed=12)
+        p50, p90, p99 = report.quantiles("latency_us", (0.5, 0.9, 0.99))
+        assert p50 == report.latency_us_p50
+        assert p90 == report.latency_us_p90
+        assert p99 == report.latency_us_p99
+
+    def test_stretch_sketch_present_on_slo_runs(self, built):
+        graph, scheme = built
+        report, _ = run_serving(scheme, graph, queries=200, seed=13)
+        assert set(report.sketches) >= {"hops", "latency_us", "stretch"}
+        (p99,) = report.quantiles("stretch", (0.99,))
+        assert p99 <= report.slo_bound + SKETCH_ACCURACY * p99
+
+    def test_unknown_sketch_raises_with_choices(self, built):
+        graph, scheme = built
+        report, _ = run_serving(scheme, graph, queries=50, seed=14)
+        with pytest.raises(KeyError, match="hops"):
+            report.quantiles("nope")
