@@ -14,6 +14,8 @@ Telemetry surfaces (docs/observability.md):
     python -m repro trace tree-rounds --jsonl   # manifest + per-row JSONL
     python -m repro fig stretch --profile  # span tree with round breakdown
     python -m repro report --fast --json   # both tables' RunRecords + figures
+    python -m repro serve --trace-out traces.jsonl  # sampled query traces
+    python -m repro explain --worst 3      # per-level stretch attribution
 
 Every subcommand takes ``--quiet`` (suppress stdout) and ``--out <path>``
 (write the output to a file) so telemetry can be redirected without shell
@@ -184,6 +186,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve under the live metrics registry and "
                             "write a Prometheus text-format snapshot "
                             "(S18, docs/observability.md)")
+    serve.add_argument("--trace-out", type=str, default=None, metavar="PATH",
+                       help="serve under the sampled query tracer and "
+                            "write the traces as JSONL (S19; replay with "
+                            "repro explain)")
+    serve.add_argument("--trace-chrome", type=str, default=None,
+                       metavar="PATH",
+                       help="also write sampled traces as a Chrome "
+                            "trace_event JSON (open in Perfetto)")
+    serve.add_argument("--trace-rate", type=float, default=0.01,
+                       help="head-sampling rate for query tracing "
+                            "(default 0.01; tail worst-stretch traces are "
+                            "always kept)")
+    serve.add_argument("--trace-tail", type=int, default=16,
+                       help="tail buffer size: worst-stretch/failed "
+                            "queries always traced (default 16)")
 
     mon = sub.add_parser(
         "monitor", parents=[common],
@@ -222,6 +239,28 @@ def build_parser() -> argparse.ArgumentParser:
                      help="exit 1 if the replay ends degraded (alert "
                           "firing or error budget exhausted)")
 
+    explain = sub.add_parser(
+        "explain", parents=[common],
+        help="replay sampled query traces into a per-level stretch "
+             "attribution table (S19)",
+    )
+    explain.add_argument("--traces", type=str, default="traces.jsonl",
+                         metavar="PATH",
+                         help="JSONL trace file written by "
+                              "repro serve --trace-out "
+                              "(default: traces.jsonl)")
+    explain.add_argument("--trace-id", type=str, default=None,
+                         help="explain one trace by id (as printed in "
+                              "exemplars / SLO alerts)")
+    explain.add_argument("--worst", type=int, default=None, metavar="N",
+                         help="drill into the N worst traces "
+                              "(failures first, then stretch excess)")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the explain RunRecord as JSON")
+    explain.add_argument("--strict", action="store_true",
+                         help="exit 1 if the attribution-exactness "
+                              "verdict fails")
+
     lint = sub.add_parser(
         "lint", parents=[common],
         help="run the CONGEST-invariant static analyzer (S17)",
@@ -231,7 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: src/repro)")
     lint.add_argument("--rules", type=str, default=None, metavar="IDS",
                       help="comma-separated rule ids (default: all of "
-                           "REP001-REP006)")
+                           "REP001-REP007)")
     lint.add_argument("--baseline", type=str, default=None, metavar="PATH",
                       help="baseline file of grandfathered findings "
                            "(default: lint-baseline.json at the repo "
@@ -429,10 +468,16 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.metrics_out:
         from .metrics import ServeMetrics
         metrics = ServeMetrics(slo_objective=args.slo_target)
+    tracer = None
+    if args.trace_out or args.trace_chrome:
+        from .tracing import Tracer
+        tracer = Tracer(rate=args.trace_rate, seed=args.seed,
+                        tail_limit=args.trace_tail,
+                        prefix=f"{args.workload}-{args.seed}")
     kwargs = dict(
         workload=args.workload, queries=args.queries, seed=args.seed,
         mode=args.mode, cache_size=args.cache, zipf_alpha=args.zipf_alpha,
-        slo_target=args.slo_target, metrics=metrics,
+        slo_target=args.slo_target, metrics=metrics, tracer=tracer,
     )
     recorded = args.json or args.strict or args.profile
     if recorded:
@@ -455,6 +500,23 @@ def _run_serve(args: argparse.Namespace) -> int:
                          now=report.serve_s)
         if not args.json:
             parts.append(f"metrics snapshot written to {args.metrics_out}")
+    if tracer is not None:
+        trace_dicts = [t.to_dict() for t in report.traces]
+        if args.trace_out:
+            from .tracing import write_traces_jsonl
+            write_traces_jsonl(args.trace_out, trace_dicts)
+            if not args.json:
+                parts.append(f"{len(trace_dicts)} traces written to "
+                             f"{args.trace_out}")
+        if args.trace_chrome:
+            write_chrome_trace(
+                args.trace_chrome,
+                record.spans if record is not None else [],
+                queries=trace_dicts,
+                meta={"kind": "serve", "workload": args.workload},
+            )
+            if not args.json:
+                parts.append(f"chrome trace written to {args.trace_chrome}")
     _deliver("\n\n".join(parts), args)
     if args.strict:
         verdict = slo_verdict(report)
@@ -493,6 +555,29 @@ def _run_monitor(args: argparse.Namespace) -> int:
         print(f"SLO degraded: {alerts} "
               f"(budget remaining {report.budget_remaining:.1%})",
               file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_explain(args: argparse.Namespace) -> int:
+    from .errors import InputError
+    from .tracing import read_traces_jsonl, run_explain
+
+    try:
+        traces = read_traces_jsonl(args.traces)
+    except OSError as exc:
+        print(f"explain: cannot read {args.traces}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        text, record = run_explain(traces, trace_id=args.trace_id,
+                                   worst=args.worst, source=args.traces)
+    except InputError as exc:
+        print(f"explain: {exc}", file=sys.stderr)
+        return 2
+    _deliver(record.to_json() if args.json else text, args)
+    if args.strict and not record.passed:
+        failed = ", ".join(v.name for v in record.failed_verdicts())
+        print(f"attribution violations: {failed}", file=sys.stderr)
         return 1
     return 0
 
@@ -563,6 +648,8 @@ def main(argv=None) -> int:
         return _run_serve(args)
     if args.command == "monitor":
         return _run_monitor(args)
+    if args.command == "explain":
+        return _run_explain(args)
     if args.command == "lint":
         return _run_lint(args)
     if args.command == "dashboard":

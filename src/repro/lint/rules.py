@@ -1,4 +1,4 @@
-"""The domain-specific checkers REP001-REP005.
+"""The domain-specific checkers REP001-REP007.
 
 Each rule guards one invariant the paper's measured guarantees rest on; the
 rule catalogue (docs/static-analysis.md) states the invariant, what the
@@ -619,6 +619,143 @@ def _is_registry_receiver(node: ast.AST) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# REP007 — sampler-guarded trace capture
+# ---------------------------------------------------------------------------
+
+#: Packages whose query loops are gated by ``trace_overhead``.
+_TRACE_SEGMENTS = ("serve",)
+#: Trace-object constructors that must never run unconditionally per query.
+_TRACE_CLASSES = {"QueryTrace", "HopSpan"}
+#: Tracer capture entry points (``tracer.capture_pair(...)`` and friends).
+_TRACE_CAPTURES = {"capture", "capture_pair", "capture_trace",
+                   "replay_query", "trace_query"}
+
+
+class UnguardedTraceCapture(Rule):
+    """Trace capture in serve loops must sit behind a sampling guard.
+
+    Scope: the ``repro.serve`` package, inside lexical loops and
+    comprehensions (the per-query territory).  Flags, when not enclosed
+    in an ``if`` whose test mentions a sampler or tracer (a name or
+    attribute containing ``sampl`` or ``trace``, e.g. ``if sampled:`` or
+    ``if t is not None and t.sample_head():``):
+
+    * construction of trace objects (``QueryTrace(...)``,
+      ``HopSpan(...)``) -- one trace allocation per query is exactly the
+      overhead the two-tier sampler exists to avoid;
+    * tracer capture calls (``.capture_pair(...)``, ``.replay_query(...)``,
+      ...) -- each one replays the route and allocates a full hop list.
+
+    The ``repro.tracing`` package itself is out of scope on purpose: the
+    recorder *is* the replay machinery and only runs for already-sampled
+    queries.
+    """
+
+    id = "REP007"
+    title = "unguarded trace capture: sample first, allocate after"
+    invariant = ("The zero-overhead-when-off contract and the <= 5% "
+                 "trace_overhead gate (BENCH_serve) assume the serve loop "
+                 "pays one sampler call per query; an unconditional "
+                 "capture re-routes and allocates on every query.")
+
+    def check_module(self, mod: ModuleInfo) -> List[Finding]:
+        if _trace_segment(mod.relpath) is None:
+            return []
+        visitor = _TraceVisitor(self, mod)
+        visitor.visit(mod.tree)
+        return visitor.findings
+
+
+def _trace_segment(relpath: str) -> Optional[str]:
+    parts = relpath.split("/")
+    for seg in _TRACE_SEGMENTS:
+        if seg in parts:
+            return seg
+    return None
+
+
+def _mentions_sampling(test: ast.AST) -> bool:
+    """Does a guard expression reference a sampler/tracer?"""
+    for sub in ast.walk(test):
+        label = None
+        if isinstance(sub, ast.Attribute):
+            label = sub.attr
+        elif isinstance(sub, ast.Name):
+            label = sub.id
+        if label is not None:
+            lowered = label.lower()
+            if "sampl" in lowered or "trace" in lowered:
+                return True
+    return False
+
+
+class _TraceVisitor(ScopedVisitor):
+    def __init__(self, rule: Rule, mod: ModuleInfo) -> None:
+        super().__init__(rule, mod)
+        self._loop_depth = 0
+        self._guard_depth = 0
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._loop_depth -= 1
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+    visit_While = _visit_loop
+    visit_ListComp = _visit_loop
+    visit_SetComp = _visit_loop
+    visit_DictComp = _visit_loop
+    visit_GeneratorExp = _visit_loop
+
+    def visit_If(self, node: ast.If) -> None:
+        # Only the body of a sampler-test `if` is guarded; the test
+        # itself and the else branch are not.
+        guarded = _mentions_sampling(node.test)
+        self.visit(node.test)
+        if guarded:
+            self._guard_depth += 1
+        try:
+            for stmt in node.body:
+                self.visit(stmt)
+        finally:
+            if guarded:
+                self._guard_depth -= 1
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        guarded = _mentions_sampling(node.test)
+        self.visit(node.test)
+        if guarded:
+            self._guard_depth += 1
+        try:
+            self.visit(node.body)
+        finally:
+            if guarded:
+                self._guard_depth -= 1
+        self.visit(node.orelse)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._loop_depth > 0 and self._guard_depth == 0:
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _TRACE_CLASSES:
+                self.emit(node, f"{func.id}(...) constructed "
+                                "unconditionally in a serve loop: gate "
+                                "trace allocation behind the sampler "
+                                "(if sampled: ...)")
+            elif (isinstance(func, ast.Attribute)
+                    and func.attr in _TRACE_CAPTURES):
+                self.emit(node, f".{func.attr}(...) trace capture "
+                                "unconditionally in a serve loop: call "
+                                "the sampler first and capture only "
+                                "sampled queries")
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -629,6 +766,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     MemoryMeterBypass,
     HotPathHygiene,
     HotLabelAllocation,
+    UnguardedTraceCapture,
 )
 
 RULES_BY_ID: Dict[str, Type[Rule]] = {r.id: r for r in ALL_RULES}

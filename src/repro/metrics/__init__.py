@@ -25,7 +25,7 @@ from .registry import (
     intern_labels,
 )
 from .monitor import MonitorReport, run_monitor
-from .serve import ServeMetrics
+from .serve import ServeMetrics, exemplar_payload
 from .sketch import QuantileSketch
 from .slo import DEFAULT_RULES, BurnRule, SloAlert, SloMonitor, WindowedRatio
 
@@ -44,6 +44,7 @@ __all__ = [
     "SloAlert",
     "SloMonitor",
     "WindowedRatio",
+    "exemplar_payload",
     "intern_labels",
     "parse_prometheus",
     "render_prometheus",

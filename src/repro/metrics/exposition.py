@@ -15,6 +15,13 @@ and by anything that wants to diff two snapshots: it validates HELP/TYPE
 ordering, sample syntax, bucket monotonicity, and the
 ``+Inf``-bucket-equals-``_count`` histogram invariant, returning
 families as plain dicts.
+
+Histogram exemplars (the worst-stretch reservoir) render in the
+OpenMetrics style — a `` # {label="value",...} value`` trailer on the
+bucket line the exemplar's value falls in — and parse back into the
+family's ``exemplars`` list, so exemplar payloads (source/target/hops/
+trace_id) round-trip through ``parse_prometheus`` instead of being
+dropped at the text boundary.
 """
 
 from __future__ import annotations
@@ -60,6 +67,34 @@ def _labels_text(labels: Tuple[Tuple[str, str], ...],
     return "{" + inner + "}"
 
 
+def _exemplar_text(entry: Dict[str, Any]) -> str:
+    """One exemplar as an OpenMetrics-style bucket-line trailer.
+
+    ``entry`` is an item of :meth:`Histogram.exemplars`: ``{"value": v}``
+    plus the payload keys.  Payload values are stringified (the payload
+    builder already ``repr``s anything non-scalar), so the trailer always
+    survives :func:`parse_prometheus`.
+    """
+    labels = ",".join(
+        f'{k}="{_escape_label(str(entry[k]))}"'
+        for k in sorted(entry) if k != "value")
+    return " # {" + labels + "} " + _fmt_value(entry["value"])
+
+
+def _pop_bucket_exemplar(
+    remaining: List[Dict[str, Any]],
+    lo: Optional[float],
+    hi: float,
+) -> Optional[Dict[str, Any]]:
+    """Take the worst not-yet-rendered exemplar that falls in this
+    bucket (``lo < value <= hi``; the text format fits one per line)."""
+    for i, entry in enumerate(remaining):
+        value = entry.get("value", 0.0)
+        if value <= hi and (lo is None or value > lo):
+            return remaining.pop(i)
+    return None
+
+
 def render_prometheus(registry: "MetricsRegistry", *,
                       now: Optional[float] = None) -> str:
     """The whole registry in Prometheus text exposition format."""
@@ -85,19 +120,31 @@ def render_prometheus(registry: "MetricsRegistry", *,
         lines.append(f"# TYPE {name} {ftype}")
         for key, inst in family.series.items():
             if family.type == "histogram":
+                remaining = inst.exemplars()
                 cumulative = 0
+                prev_upper: Optional[float] = None
                 for upper, count in inst.sketch.bucket_bounds():
                     cumulative += count
                     le = ("0" if upper == 0.0
                           else repr(round(float(upper), 9)))
-                    lines.append(
-                        f"{name}_bucket"
-                        f"{_labels_text(key, (('le', le),))} {cumulative}"
-                    )
-                lines.append(
+                    line = (f"{name}_bucket"
+                            f"{_labels_text(key, (('le', le),))} "
+                            f"{cumulative}")
+                    exemplar = _pop_bucket_exemplar(
+                        remaining, prev_upper, float(upper))
+                    if exemplar is not None:
+                        line += _exemplar_text(exemplar)
+                    lines.append(line)
+                    prev_upper = float(upper)
+                line = (
                     f"{name}_bucket{_labels_text(key, (('le', '+Inf'),))} "
                     f"{inst.sketch.count}"
                 )
+                if remaining:
+                    # Anything left (empty sketch edge cases) rides the
+                    # +Inf line so no exemplar is silently dropped.
+                    line += _exemplar_text(remaining[0])
+                lines.append(line)
                 lines.append(f"{name}_sum{_labels_text(key)} "
                              f"{_fmt_value(inst.sketch.total)}")
                 lines.append(f"{name}_count{_labels_text(key)} "
@@ -162,6 +209,20 @@ def _parse_value(text: str) -> float:
         raise ExpositionError(f"malformed sample value {text!r}")
 
 
+def _parse_exemplar(text: str, lineno: int) -> Dict[str, Any]:
+    """Parse one ``{label="value",...} value`` exemplar trailer."""
+    if not text.startswith("{"):
+        raise ExpositionError(
+            f"line {lineno}: malformed exemplar trailer {text!r}")
+    end = text.rfind("} ")
+    if end == -1:
+        raise ExpositionError(
+            f"line {lineno}: exemplar trailer missing value: {text!r}")
+    labels = _parse_labels(text[1:end])
+    value = _parse_value(text[end + 2:].strip())
+    return {"labels": labels, "value": value}
+
+
 def _base_family(name: str) -> str:
     for suffix in ("_bucket", "_sum", "_count"):
         if name.endswith(suffix):
@@ -173,9 +234,13 @@ def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
     """Parse exposition text into ``{family: {type, help, samples}}``.
 
     ``samples`` is a list of ``(metric_name, labels_dict, value)``.
-    Raises :class:`ExpositionError` on structural violations: a sample
-    before its ``# TYPE``, malformed lines, non-monotone histogram
-    buckets, or a ``+Inf`` bucket disagreeing with ``_count``.
+    Bucket lines may carry an OpenMetrics-style exemplar trailer
+    (`` # {labels} value``); these parse into the family's ``exemplars``
+    list as ``{"metric", "labels", "value"}`` dicts, and the sample
+    triple stays clean.  Raises :class:`ExpositionError` on structural
+    violations: a sample before its ``# TYPE``, malformed lines or
+    exemplar trailers, non-monotone histogram buckets, or a ``+Inf``
+    bucket disagreeing with ``_count``.
     """
     families: Dict[str, Dict[str, Any]] = {}
     for lineno, raw in enumerate(text.splitlines(), start=1):
@@ -209,6 +274,13 @@ def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
             continue
         if line.startswith("#"):
             continue
+        # Split an exemplar trailer off before the sample regex (whose
+        # value group would otherwise choke on the " # {...}" tail).
+        exemplar = None
+        cut = line.find(" # {")
+        if cut != -1:
+            exemplar = _parse_exemplar(line[cut + 3:], lineno)
+            line = line[:cut]
         match = _SAMPLE_RE.match(line)
         if match is None:
             raise ExpositionError(f"line {lineno}: malformed sample {line!r}")
@@ -220,6 +292,9 @@ def parse_prometheus(text: str) -> Dict[str, Dict[str, Any]]:
                 f"line {lineno}: sample {name!r} before its # TYPE")
         labels = _parse_labels(match.group("labels") or "")
         fam["samples"].append((name, labels, _parse_value(match.group("value"))))
+        if exemplar is not None:
+            exemplar["metric"] = name
+            fam.setdefault("exemplars", []).append(exemplar)
 
     for base, fam in families.items():
         if fam["type"] != "histogram":

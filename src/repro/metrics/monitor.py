@@ -30,7 +30,7 @@ import networkx as nx
 from ..graphs.paths import dijkstra
 from ..telemetry.bounds import BoundVerdict
 from ..telemetry.runrecord import RunRecord, make_run_record
-from .serve import ServeMetrics
+from .serve import ServeMetrics, exemplar_payload
 
 NodeId = Hashable
 
@@ -164,6 +164,7 @@ def run_monitor(
     from ..serve.compile import CompiledGraphScheme, compile_scheme
     from ..serve.engine import ServeEngine
     from ..serve.workloads import make_workload
+    from ..tracing.sampler import Tracer
 
     if target_qps <= 0:
         raise ValueError("target_qps must be positive")
@@ -178,6 +179,11 @@ def run_monitor(
 
     pairs = make_workload(workload, graph, compiled.nodes, queries, seed,
                           zipf_alpha=zipf_alpha)
+    # Tail-only tracer (S19): head sampling off, so the only state is the
+    # worst-stretch/failure tail buffer.  Its trace ids are attached to
+    # firing SLO alerts so the structured event links to ``repro explain``.
+    tracer = Tracer(rate=0.0, seed=seed, tail_limit=16,
+                    prefix=f"{workload}-{seed}")
 
     perf_counter = time.perf_counter
     route_recorded = engine.route_recorded
@@ -199,15 +205,15 @@ def run_monitor(
             exact = dist.get(v, 0.0)
             stretch = result.length / exact if exact > 0 else 1.0
             if metrics.stretch.wants_exemplar(stretch):
-                exemplar = {
-                    "source": repr(u),
-                    "target": repr(v),
-                    "hops": result.hops,
-                    "path_prefix": [repr(x) for x in result.path[:4]],
-                    "cached": result.cached,
-                }
+                exemplar = exemplar_payload(result,
+                                            trace_id=tracer.trace_id(i))
+        tracer.tail.offer(i, u, v, stretch, failed=not result.ok)
+        before = len(metrics.slo.alerts)
         observe(latency_us, now, ok=result.ok, stretch=stretch,
                 slo_bound=slo_bound, exemplar=exemplar)
+        for alert in metrics.slo.alerts[before:]:
+            if alert.state == "firing":
+                alert.trace_ids = tuple(tracer.tail_trace_ids(8))
         if status_stream is not None and (
                 (i + 1) % refresh_every == 0 or i + 1 == len(pairs)):
             elapsed = perf_counter() - serve_started
@@ -222,7 +228,9 @@ def run_monitor(
         status_stream.flush()
 
     now = len(pairs) * tick
-    metrics.slo.check(now)
+    for alert in metrics.slo.check(now):
+        if alert.state == "firing":
+            alert.trace_ids = tuple(tracer.tail_trace_ids(8))
     snapshot = metrics.snapshot(now=now)
     lat = metrics.latency_us.sketch
     hops = metrics.hops.sketch

@@ -25,7 +25,33 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from .registry import MetricsRegistry
 from .slo import DEFAULT_RULES, BurnRule, SloMonitor
 
-__all__ = ["ServeMetrics"]
+__all__ = ["ServeMetrics", "exemplar_payload"]
+
+
+def exemplar_payload(
+    result: Any,
+    *,
+    trace_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The standard worst-stretch exemplar payload for one served query.
+
+    Shared by the serve harness and ``repro monitor`` so every exemplar
+    carries the same keys; ``trace_id`` (S19) links the exemplar to the
+    sampled :class:`~repro.tracing.QueryTrace` with the same id, making
+    Prometheus exemplars and ``repro explain`` reference the same query.
+    All values render as exposition-safe label strings — the payload
+    round-trips through ``render_prometheus`` / ``parse_prometheus``.
+    """
+    payload: Dict[str, Any] = {
+        "source": repr(result.source),
+        "target": repr(result.target),
+        "hops": result.hops,
+        "path_prefix": [repr(x) for x in result.path[:4]],
+        "cached": result.cached,
+    }
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+    return payload
 
 #: Hop counts at or above this fold into the last scratch slot's
 #: histogram add as exact values instead (paths this long mean a budget

@@ -116,7 +116,14 @@ DEFAULT_RULES: Tuple[BurnRule, ...] = (
 
 @dataclass
 class SloAlert:
-    """A structured burn-rate alert transition (fire or resolve)."""
+    """A structured burn-rate alert transition (fire or resolve).
+
+    ``trace_ids`` (S19) names the sampled queries that contributed to a
+    firing alert — the monitor's tail buffer at fire time, worst first —
+    so the structured event links straight to ``repro explain``.  It is
+    attached after construction by whoever owns the tail buffer
+    (``run_monitor``) and serialized only when non-empty.
+    """
 
     rule: str
     state: str  # "firing" | "resolved"
@@ -126,9 +133,10 @@ class SloAlert:
     long_error_rate: float
     short_error_rate: float
     budget_remaining: float
+    trace_ids: Tuple[str, ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "rule": self.rule,
             "state": self.state,
             "at": round(self.at, 6),
@@ -138,6 +146,9 @@ class SloAlert:
             "short_error_rate": round(self.short_error_rate, 6),
             "budget_remaining": round(self.budget_remaining, 6),
         }
+        if self.trace_ids:
+            out["trace_ids"] = list(self.trace_ids)
+        return out
 
 
 class SloMonitor:

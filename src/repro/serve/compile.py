@@ -124,6 +124,30 @@ class PackedEntry:
     label: PackedLabel
 
 
+@dataclass(frozen=True)
+class DecisionProvenance:
+    """Origin of one packed decision-table candidate (S19 tracing).
+
+    The decision table (:attr:`CompiledGraphScheme.decisions`) strips every
+    candidate down to bare tuples for speed; this side-table keeps, in the
+    *same candidate order*, what each tuple came from — the hierarchy level,
+    the cluster-tree (= landmark) identity, and the label's advertised
+    distance to the tree root — so a sampled :class:`~repro.tracing.QueryTrace`
+    can annotate the committed decision without touching the hot path.
+    """
+
+    __slots__ = ("level", "tree_id", "tree_index", "root", "dist_to_root",
+                 "tree_size", "label_words")
+
+    level: int
+    tree_id: Hashable
+    tree_index: int
+    root: Optional[NodeId]
+    dist_to_root: float
+    tree_size: int
+    label_words: int
+
+
 class CompiledTreeScheme:
     """A :class:`TreeRoutingScheme` packed for serving."""
 
@@ -147,6 +171,16 @@ class CompiledTreeScheme:
             for v, label in scheme.labels.items()
         }
         self.nodes: List[NodeId] = list(scheme.tables)
+        #: Single-tree provenance for traced queries (level 0 by definition).
+        self.provenance = DecisionProvenance(
+            level=0,
+            tree_id=scheme.tree_id,
+            tree_index=0,
+            root=scheme.root,
+            dist_to_root=0.0,
+            tree_size=self.tree.size,
+            label_words=0,
+        )
 
     def table_words(self) -> int:
         """Words across all packed per-vertex rows (5 words per vertex)."""
@@ -242,6 +276,34 @@ class CompiledGraphScheme:
                  e.level, e.dist_to_root)
                 for e in packed_entries
             )
+            for v, packed_entries in self.entries.items()
+        }
+
+        # -- provenance side-table (S19 tracing) ----------------------------
+        #: ``provenance[target][i]`` describes ``decisions[target][i]``:
+        #: candidate order is identical, so a replayed decision scan can
+        #: recover level / landmark / tree identity from the committed
+        #: candidate index alone.  ``bunch_levels[target]`` is the set of
+        #: hierarchy levels present in the target's usable label — its bunch
+        #: membership as the serving layer sees it.
+        roots = [_tree_root(t) for t in self.trees]
+        self.provenance: Dict[NodeId, Tuple[DecisionProvenance, ...]] = {
+            v: tuple(
+                DecisionProvenance(
+                    level=e.level,
+                    tree_id=self.trees[e.tree_index].tree_id,
+                    tree_index=e.tree_index,
+                    root=roots[e.tree_index],
+                    dist_to_root=e.dist_to_root,
+                    tree_size=self.trees[e.tree_index].size,
+                    label_words=e.label.words,
+                )
+                for e in packed_entries
+            )
+            for v, packed_entries in self.entries.items()
+        }
+        self.bunch_levels: Dict[NodeId, Tuple[int, ...]] = {
+            v: tuple(e.level for e in packed_entries)
             for v, packed_entries in self.entries.items()
         }
 
@@ -357,6 +419,14 @@ def _pack_label(
         )
     return PackedLabel(enter=label.enter, light=light,
                        words=label.word_size())
+
+
+def _tree_root(tree: PackedTree) -> Optional[NodeId]:
+    """The tree's root vertex (no parent pointer), or None if malformed."""
+    for li, parent in enumerate(tree.parent):
+        if parent == NO_VERTEX and tree.parent_id[li] is None:
+            return tree.ids[li]
+    return None
 
 
 def _edge_weight(

@@ -42,6 +42,7 @@ from ..errors import RoutingFailure
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..metrics.serve import ServeMetrics
+    from ..tracing.sampler import Tracer
 from .compile import (
     NO_VERTEX,
     CompiledGraphScheme,
@@ -162,6 +163,17 @@ class ServeEngine:
     feeds query/failure/cache counters and per-hop counts.  The hook is
     zero-overhead when absent -- one ``is not None`` check per batch
     (``route_many``) or per recorded query.
+
+    ``tracer`` optionally attaches a :class:`~repro.tracing.Tracer`
+    (S19).  Same discipline: with no tracer the query path allocates
+    nothing for tracing; with one attached, the batched loop pays one
+    integer compare per query against the sampler's precomputed next
+    pick and only *records* picked ordinals -- the replay into
+    :class:`~repro.tracing.QueryTrace` objects happens at
+    ``Tracer.finalize``, off the serving loop (single ``route_recorded``
+    queries replay immediately; their cost is per-query anyway).  Trace
+    construction never happens unguarded inside the serving loops (lint
+    rule REP007).
     """
 
     def __init__(
@@ -172,6 +184,7 @@ class ServeEngine:
         cache_size: int = 4096,
         max_hops: Optional[int] = None,
         metrics: Optional["ServeMetrics"] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         if mode not in ("first", "best"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -180,6 +193,7 @@ class ServeEngine:
         self.cache = DecisionCache(cache_size)
         self.max_hops = max_hops
         self.metrics = metrics
+        self.tracer = tracer
         self.failures = 0
         self.queries = 0
         self._is_tree = isinstance(compiled, CompiledTreeScheme)
@@ -208,6 +222,9 @@ class ServeEngine:
         m = self.metrics
         if m is not None:
             m.record_result(result.ok, len(result.path) - 1, result.cached)
+        t = self.tracer
+        if t is not None and t.sample_head():
+            t.capture_pair(self, source, target)
         return result
 
     # -- batch ---------------------------------------------------------------
@@ -242,6 +259,27 @@ class ServeEngine:
         decisions = compiled.decisions
         first = self.mode == "first"
         budget = self.max_hops or compiled.default_budget
+        # Tracing hook (S19, zero-overhead when absent): the head pick
+        # schedule folds into the `served` counter the loop keeps anyway
+        # -- `next_sample_at` is the value of `served` at the sampler's
+        # precomputed next pick (never reached when detached), so the
+        # per-query cost is one integer compare.  Picks are only
+        # *recorded*; the replay into a trace is deferred to
+        # Tracer.finalize, off the serving loop (same discipline as the
+        # metrics batch-end fold below).  Ordinal of query i in this
+        # batch is `base + i`, counting every query, so trace ids align
+        # with the batch's result order.
+        tracer = self.tracer
+        if tracer is not None:
+            base = tracer.seq
+            defer = tracer.defer
+            next_sample_at = tracer._next_pick - base + 1
+            if next_sample_at <= 0:  # rate 0: pick ordinal is -1 (never)
+                next_sample_at = -1
+        else:
+            base = 0
+            defer = None
+            next_sample_at = -1
         results: List[ServeResult] = []
         append = results.append
         served = 0
@@ -253,6 +291,9 @@ class ServeEngine:
             served += 1
             if source == target:
                 append(ServeResult(source, target, [source], 0.0, True))
+                if served == next_sample_at:
+                    next_sample_at = defer(base + served - 1, source,
+                                           target) - base + 1
                 continue
             if cache_on:
                 entry = data.get(key)
@@ -261,6 +302,9 @@ class ServeEngine:
                     hits += 1
                     append(ServeResult(source, target, list(entry[0]),
                                        entry[1], True, None, True))
+                    if served == next_sample_at:
+                        next_sample_at = defer(base + served - 1, source,
+                                               target) - base + 1
                     continue
                 misses += 1
             try:
@@ -286,12 +330,20 @@ class ServeEngine:
                     list(exc.path) if exc.path else [source],
                     0.0, False, str(exc),
                 ))
+                if served == next_sample_at:
+                    next_sample_at = defer(base + served - 1, source,
+                                           target) - base + 1
                 continue
             if cache_on:
                 if len(data) >= maxsize:
                     popitem(last=False)
                 data[key] = (tuple(path), length)
             append(ServeResult(source, target, path, length, True))
+            if served == next_sample_at:
+                next_sample_at = defer(base + served - 1, source,
+                                       target) - base + 1
+        if tracer is not None:
+            tracer.seq = base + served
         self.queries += served
         self.failures += failed
         cache.hits += hits

@@ -18,12 +18,25 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import networkx as nx
 
 from ..graphs.paths import dijkstra
-from ..metrics.serve import ServeMetrics
+from ..metrics.serve import ServeMetrics, exemplar_payload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..tracing.model import QueryTrace
+    from ..tracing.sampler import Tracer
 from ..metrics.sketch import QuantileSketch
 from ..telemetry import events as _tele
 from ..telemetry.bounds import BoundVerdict
@@ -90,6 +103,11 @@ class ServeReport:
     #: :class:`~repro.metrics.ServeMetrics` bundle).
     metrics: Dict[str, Any] = field(
         default_factory=dict, repr=False, compare=False)
+    #: sampled query traces (populated when ``run_serving`` is given a
+    #: :class:`~repro.tracing.Tracer`); excluded from ``to_row()`` and
+    #: report equality so tracing cannot perturb differential checks.
+    traces: List["QueryTrace"] = field(
+        default_factory=list, repr=False, compare=False)
 
     @property
     def slo_ok(self) -> Optional[bool]:
@@ -193,6 +211,7 @@ def run_serving(
     slo_target: float = 0.99,
     engine: Optional[ServeEngine] = None,
     metrics: Optional[ServeMetrics] = None,
+    tracer: Optional["Tracer"] = None,
 ) -> Tuple[ServeReport, List[ServeResult]]:
     """Serve ``queries`` seeded queries of ``workload`` against ``scheme``.
 
@@ -203,21 +222,30 @@ def run_serving(
     :class:`~repro.metrics.ServeMetrics` bundle to emit into the live
     registry (counters, QPS meter, hop/latency/stretch histograms with
     worst-stretch exemplars, SLO budget); the report then carries the
-    registry snapshot in its ``metrics`` section.
+    registry snapshot in its ``metrics`` section.  Pass a
+    :class:`~repro.tracing.Tracer` to sample per-query traces (S19): the
+    head tier fires during serving, the tail tier is fed post-hoc from
+    the measured stretches, and the finished traces — with exact
+    per-level stretch attribution — land in ``report.traces``.
     """
     with _tele.span("serve/run", workload=workload, queries=queries):
         started = time.perf_counter()
         if engine is None:
             compiled = compile_scheme(scheme, graph)
             engine = ServeEngine(compiled, mode=mode, cache_size=cache_size,
-                                 metrics=metrics)
+                                 metrics=metrics, tracer=tracer)
         else:
             compiled = engine.compiled
             mode = engine.mode
             cache_size = engine.cache.maxsize
             if metrics is not None and engine.metrics is None:
                 engine.metrics = metrics
+            if tracer is not None and engine.tracer is None:
+                engine.tracer = tracer
         compile_s = time.perf_counter() - started
+        # Results[i] gets trace ordinal trace_base + i (a pre-warmed
+        # engine may already have consumed ordinals).
+        trace_base = tracer.seq if tracer is not None else 0
 
         with _tele.span("serve/workload", workload=workload):
             pairs = make_workload(
@@ -248,6 +276,7 @@ def run_serving(
         if slo_bound is None and isinstance(compiled, CompiledGraphScheme):
             slo_bound = 4.0 * compiled.k - 3.0
         slo_fraction = None
+        stretches: Optional[List[Optional[float]]] = None
         stretch_sketch: Optional[QuantileSketch] = None
         if slo_bound is not None:
             with _tele.span("serve/slo", bound=slo_bound):
@@ -261,7 +290,15 @@ def run_serving(
                     stretch_sketch.add(s)
             if metrics is not None:
                 _feed_stretch_metrics(metrics, results, stretches,
-                                      slo_bound, serve_s)
+                                      slo_bound, serve_s,
+                                      tracer=tracer, base=trace_base)
+
+        traces: List["QueryTrace"] = []
+        if tracer is not None:
+            with _tele.span("serve/traces", head=len(tracer.head)):
+                traces = tracer.finalize(engine, results, stretches,
+                                         graph=graph, base=trace_base)
+            _tele.emit("serve.traces", len(traces))
 
         hops_sketch = QuantileSketch(SKETCH_ACCURACY)
         for r in results:
@@ -299,6 +336,7 @@ def run_serving(
             sketches=sketches,
             metrics=(metrics.snapshot(now=serve_s)
                      if metrics is not None else {}),
+            traces=traces,
         )
         if slo_fraction is not None:
             _tele.gauge("serve.slo_fraction", slo_fraction)
@@ -330,6 +368,7 @@ def run_serving_recorded(
         verdicts=[verdict] if verdict is not None else [],
         collector=tele,
         metrics=report.metrics,
+        traces=[t.to_dict() for t in report.traces],
         wall_s=time.perf_counter() - started,
     )
     return report, record
@@ -380,13 +419,18 @@ def _feed_stretch_metrics(
     stretches: Sequence[Optional[float]],
     slo_bound: float,
     serve_s: float,
+    *,
+    tracer: Optional["Tracer"] = None,
+    base: int = 0,
 ) -> None:
     """Replay per-query stretch into the live bundle after the fact.
 
     The serve loop measures latency online but stretch needs the exact
     distances, so the SLO feed happens post-hoc: each query is scored at
     the virtual time it was (approximately) served, spreading the batch
-    uniformly over ``serve_s``.
+    uniformly over ``serve_s``.  With a tracer active, exemplar payloads
+    carry the query's trace id (S19), so a Prometheus exemplar and
+    ``repro explain`` point at the same query.
     """
     tick = serve_s / len(results) if results else 0.0
     hist = metrics.stretch
@@ -396,13 +440,10 @@ def _feed_stretch_metrics(
         if stretch is not None:
             hist.sketch.add(stretch)
             if hist.wants_exemplar(stretch):
-                hist.offer_exemplar(stretch, {
-                    "source": repr(r.source),
-                    "target": repr(r.target),
-                    "hops": r.hops,
-                    "path_prefix": [repr(x) for x in r.path[:4]],
-                    "cached": r.cached,
-                })
+                trace_id = (tracer.trace_id(base + i)
+                            if tracer is not None else None)
+                hist.offer_exemplar(
+                    stretch, exemplar_payload(r, trace_id=trace_id))
         bad = stretch is None or stretch > slo_bound + 1e-9
         slo.record(0.0 if bad else 1.0, 1.0 if bad else 0.0, now)
     metrics.budget_gauge.value = slo.budget_remaining

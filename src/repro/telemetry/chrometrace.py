@@ -14,7 +14,11 @@ flight-recorder data into the Chrome trace-event JSON format
 * flight samples (when given) become counter tracks on their own process
   (pid 2+) whose clock is the *simulated round index*, one microsecond per
   round: per-round messages/words, per-vertex memory aggregates, and the
-  per-prefix memory breakdown.
+  per-prefix memory breakdown;
+* sampled query traces (S19, when given) become a *serve queries* process
+  (pid 1000) with one thread per trace — an outer ``source->target`` span
+  wrapping a B/E pair per hop on a hop-index clock (1 hop == 1 us), hop
+  kind and per-hop stretch excess in ``args``.
 
 ``validate_chrome_trace`` structurally checks a document (balanced and
 properly nested B/E, monotone timestamps per track) and is what the test
@@ -32,6 +36,7 @@ _COUNTER_TRACKS = ("congest.rounds", "congest.charged_rounds")
 
 _BUILD_PID = 1
 _FLIGHT_PID = 2
+_QUERY_PID = 1000
 
 
 def _meta_event(pid: int, name: str, *, tid: Optional[int] = None,
@@ -115,10 +120,59 @@ def _flight_events(
             })
 
 
+def _query_events(
+    queries: Sequence[Dict[str, Any]],
+    events: List[Dict[str, Any]],
+) -> None:
+    """One thread per sampled trace on the hop-index clock (1 hop == 1 us)."""
+    events.append(_meta_event(_QUERY_PID, "serve queries (1 hop = 1 us)"))
+    for i, trace in enumerate(queries):
+        tid = i + 1
+        name = trace.get("trace_id") or f"trace[{i}]"
+        events.append(_meta_event(_QUERY_PID, str(name), tid=tid,
+                                  kind="thread_name"))
+        hops = trace.get("hops", ())
+        outer = f"{trace.get('source')!r}->{trace.get('target')!r}"
+        args = {
+            "trace_id": trace.get("trace_id"),
+            "via": trace.get("via"),
+            "ok": trace.get("ok"),
+            "level": trace.get("level"),
+            "tree_id": repr(trace.get("tree_id")),
+            "length": trace.get("length"),
+            "optimal": trace.get("optimal"),
+            "stretch": trace.get("stretch"),
+        }
+        if trace.get("error"):
+            args["error"] = trace["error"]
+        events.append({
+            "ph": "B", "name": outer, "pid": _QUERY_PID, "tid": tid,
+            "ts": 0.0, "args": args,
+        })
+        for j, hop in enumerate(hops):
+            hop_name = (f"{hop.get('kind', 'hop')} "
+                        f"{hop.get('source')!r}->{hop.get('dest')!r}")
+            events.append({
+                "ph": "B", "name": hop_name, "pid": _QUERY_PID, "tid": tid,
+                "ts": float(j),
+                "args": {"weight": hop.get("weight"),
+                         "excess": hop.get("excess")},
+            })
+            events.append({
+                "ph": "E", "name": hop_name, "pid": _QUERY_PID, "tid": tid,
+                "ts": float(j + 1),
+            })
+        events.append({
+            "ph": "E", "name": outer, "pid": _QUERY_PID, "tid": tid,
+            "ts": float(max(len(hops), 1)),
+        })
+
+
 def to_chrome_trace(
     spans: Sequence[Dict[str, Any]],
     *,
     flight: Optional[Union[Dict[str, Any], Sequence[Dict[str, Any]]]] = None,
+    queries: Optional[Sequence[Dict[str, Any]]] = None,
     meta: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Build a Chrome trace-event document from serialized telemetry.
@@ -127,7 +181,9 @@ def to_chrome_trace(
     forest; nodes without a recorded ``t0`` (records written before the
     field existed) are laid out sequentially from their wall-clock widths.
     ``flight`` is one flight-recorder ``to_dict()`` or a list of them (one
-    counter-track process each).
+    counter-track process each).  ``queries`` is a sequence of serialized
+    :class:`~repro.tracing.QueryTrace` dicts (S19), rendered as per-trace
+    hop timelines on their own process.
     """
     events: List[Dict[str, Any]] = [
         _meta_event(_BUILD_PID, "repro build (wall clock)"),
@@ -140,6 +196,8 @@ def to_chrome_trace(
         for i, recorder in enumerate(recorders):
             label = f"flight net[{i}] (simulated rounds)"
             _flight_events(recorder, events, _FLIGHT_PID + i, label)
+    if queries:
+        _query_events(queries, events)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -152,12 +210,13 @@ def write_chrome_trace(
     spans: Sequence[Dict[str, Any]],
     *,
     flight: Optional[Union[Dict[str, Any], Sequence[Dict[str, Any]]]] = None,
+    queries: Optional[Sequence[Dict[str, Any]]] = None,
     meta: Optional[Dict[str, Any]] = None,
 ) -> Path:
     """Serialize :func:`to_chrome_trace` output to ``path``; returns it."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    doc = to_chrome_trace(spans, flight=flight, meta=meta)
+    doc = to_chrome_trace(spans, flight=flight, queries=queries, meta=meta)
     path.write_text(json.dumps(doc) + "\n")
     return path
 

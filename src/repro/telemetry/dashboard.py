@@ -419,6 +419,55 @@ def _metrics_panel(metrics: Dict[str, Any]) -> str:
     return "".join(parts)
 
 
+def _traces_panel(traces: List[Dict[str, Any]], *, limit: int = 8) -> str:
+    """The worst-queries drill-down (S19): sampled traces, worst first.
+
+    Ranks the record's serialized :class:`~repro.tracing.QueryTrace`
+    dicts by badness (failures first, then stretch excess) and renders
+    one row per trace — trace id, endpoints, committed level/tree,
+    hops, actual vs optimal length, stretch, and the per-level
+    attribution — so a firing SLO alert's ``trace_ids`` can be looked
+    up without leaving the dashboard.
+    """
+
+    def badness(t: Dict[str, Any]) -> tuple:
+        if not t.get("ok", False):
+            return (1, float(t.get("length") or 0.0))
+        length = t.get("length")
+        optimal = t.get("optimal")
+        if isinstance(length, (int, float)) and isinstance(optimal,
+                                                           (int, float)):
+            return (0, float(length) - float(optimal))
+        return (0, 0.0)
+
+    ranked = sorted(traces, key=badness, reverse=True)[:limit]
+    rows = []
+    for t in ranked:
+        attribution = t.get("attribution") or {}
+        rows.append({
+            "trace_id": t.get("trace_id", "?"),
+            "query": f"{t.get('source')!r}→{t.get('target')!r}",
+            "via": t.get("via", "?"),
+            "ok": t.get("ok", False),
+            "level": t.get("level", ""),
+            "tree": repr(t.get("tree_id")),
+            "hops": len(t.get("hops") or ()),
+            "actual": t.get("length"),
+            "optimal": t.get("optimal"),
+            "stretch": t.get("stretch"),
+            "attribution": ", ".join(
+                f"L{k}: {_fmt(v)}" for k, v in sorted(attribution.items()))
+            or (t.get("error") or ""),
+        })
+    return (
+        f"<h3>Worst sampled queries ({len(ranked)} of {len(traces)} "
+        "traces)</h3>"
+        + _rows_table(rows)
+        + '<p class="mono">replay any trace id with '
+        "<code>repro explain --traces … --trace-id ID</code></p>"
+    )
+
+
 def _record_section(record: Dict[str, Any], label: str) -> str:
     spans = record.get("spans") or []
     rows = _span_rows(spans)
@@ -475,6 +524,9 @@ def _record_section(record: Dict[str, Any], label: str) -> str:
                 + sparkline_svg([s["mem_current_max"] for s in samples],
                                 width=420, labels=labels)
             )
+    traces = record.get("traces")
+    if isinstance(traces, list) and traces:
+        parts.append(_traces_panel(traces))
     parts.append("</section>")
     return "".join(parts)
 

@@ -52,6 +52,7 @@ class RunRecord:
     gauges: Dict[str, float] = field(default_factory=dict)
     flight: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    traces: List[Dict[str, Any]] = field(default_factory=list)
     wall_s: float = 0.0
     peak_rss_kb: Optional[int] = None
     package_version: str = ""
@@ -98,6 +99,8 @@ class RunRecord:
             out["flight"] = self.flight
         if self.metrics:
             out["metrics"] = _jsonable(self.metrics)
+        if self.traces:
+            out["traces"] = _jsonable(self.traces)
         return out
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
@@ -117,6 +120,7 @@ class RunRecord:
             gauges=dict(d.get("gauges", {})),
             flight=list(d.get("flight", [])),
             metrics=dict(d.get("metrics", {})),
+            traces=list(d.get("traces", [])),
             wall_s=float(d.get("wall_s", 0.0)),
             peak_rss_kb=d.get("peak_rss_kb"),
             package_version=d.get("package_version", ""),
@@ -146,6 +150,7 @@ def make_run_record(
     collector: Optional[TelemetryCollector] = None,
     flight: Optional[List[Dict[str, Any]]] = None,
     metrics: Optional[Dict[str, Any]] = None,
+    traces: Optional[List[Dict[str, Any]]] = None,
     wall_s: float = 0.0,
 ) -> RunRecord:
     """Assemble a RunRecord from measurements plus an optional collector.
@@ -154,7 +159,8 @@ def make_run_record(
     recorded network, e.g. ``session.to_dicts()`` from
     :class:`repro.telemetry.flight.auto`); ``metrics`` a live-metrics
     snapshot (:meth:`repro.metrics.ServeMetrics.snapshot`), serialized
-    only when non-empty.
+    only when non-empty; ``traces`` sampled query traces
+    (:meth:`repro.tracing.QueryTrace.to_dict` payloads), likewise.
     """
     record = RunRecord(
         kind=kind,
@@ -163,6 +169,7 @@ def make_run_record(
         verdicts=list(verdicts or []),
         flight=list(flight or []),
         metrics=dict(metrics or {}),
+        traces=list(traces or []),
         wall_s=wall_s,
     )
     if collector is not None:

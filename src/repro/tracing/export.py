@@ -1,0 +1,40 @@
+"""S19 trace export: JSONL persistence for ``repro explain``.
+
+One JSON object per line, in trace-id order — the shape
+``repro serve --trace-out`` writes and ``repro explain`` reads.  The
+Chrome/Perfetto rendering of the same traces lives with the other
+trace_event plumbing in :mod:`repro.telemetry.chrometrace`
+(``write_chrome_trace(..., queries=...)``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from .model import QueryTrace
+
+
+def write_traces_jsonl(
+    path: Union[str, Path],
+    traces: Iterable[Union[QueryTrace, Dict[str, Any]]],
+) -> Path:
+    """Write traces (objects or already-dict form) as JSONL."""
+    out = Path(path)
+    with out.open("w") as fp:
+        for trace in traces:
+            d = trace.to_dict() if isinstance(trace, QueryTrace) else trace
+            fp.write(json.dumps(d, sort_keys=True) + "\n")
+    return out
+
+
+def read_traces_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read a trace JSONL file back into dicts (blank lines skipped)."""
+    traces: List[Dict[str, Any]] = []
+    with Path(path).open() as fp:
+        for line in fp:
+            line = line.strip()
+            if line:
+                traces.append(json.loads(line))
+    return traces

@@ -44,6 +44,27 @@ class TestParser:
         assert args.out == "dashboard.html"
         assert args.record == []
 
+    def test_serve_trace_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--trace-out", "t.jsonl", "--trace-chrome", "t.json",
+             "--trace-rate", "0.05", "--trace-tail", "32"])
+        assert args.trace_out == "t.jsonl"
+        assert args.trace_chrome == "t.json"
+        assert args.trace_rate == 0.05
+        assert args.trace_tail == 32
+
+    def test_explain_defaults(self):
+        args = build_parser().parse_args(["explain"])
+        assert args.command == "explain"
+        assert args.traces == "traces.jsonl"
+        assert args.trace_id is None and args.worst is None
+
+    def test_explain_flags(self):
+        args = build_parser().parse_args(
+            ["explain", "--traces", "x.jsonl", "--worst", "3", "--json"])
+        assert args.traces == "x.jsonl"
+        assert args.worst == 3 and args.json
+
 
 class TestExecution:
     def test_table2_runs(self, capsys):
@@ -117,6 +138,44 @@ class TestTelemetrySurfaces:
         assert code == 0
         rows = json.loads(target.read_text())
         assert rows and "style" in rows[0]
+
+    def test_serve_trace_out_then_explain(self, tmp_path, capsys):
+        """Acceptance: serve --trace-out writes JSONL that repro explain
+        reads back, with attribution exact to the optimal distances."""
+        traces = tmp_path / "traces.jsonl"
+        rc = main(["serve", "--n", "60", "--k", "2", "--queries", "400",
+                   "--workload", "zipf", "--quiet",
+                   "--trace-out", str(traces), "--trace-rate", "0.1"])
+        assert rc == 0
+        assert traces.exists() and traces.read_text().strip()
+
+        report = tmp_path / "explain.json"
+        rc = main(["explain", "--traces", str(traces), "--worst", "2",
+                   "--json", "--quiet", "--out", str(report)])
+        assert rc == 0
+        record = json.loads(report.read_text())
+        assert record["kind"] == "explain"
+        assert record["passed"] is True
+        verdict = record["verdicts"][0]
+        assert verdict["name"] == "explain/attribution-exact"
+        assert verdict["measured"] == 0.0
+        assert record["traces"]
+
+    def test_explain_unknown_trace_id_exits_two(self, tmp_path, capsys):
+        traces = tmp_path / "traces.jsonl"
+        rc = main(["serve", "--n", "60", "--k", "2", "--queries", "200",
+                   "--workload", "uniform", "--quiet",
+                   "--trace-out", str(traces)])
+        assert rc == 0
+        rc = main(["explain", "--traces", str(traces),
+                   "--trace-id", "nope-000000", "--quiet"])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_explain_missing_file_exits_two(self, tmp_path, capsys):
+        rc = main(["explain", "--traces", str(tmp_path / "missing.jsonl")])
+        assert rc == 2
+        assert capsys.readouterr().err
 
     def test_report_json(self, capsys):
         assert main(["report", "--fast", "--json", "--strict"]) == 0

@@ -29,6 +29,7 @@ def run_example(name: str, timeout: int = 280) -> str:
     ("multicast_overlays.py", "all exact"),
     ("custom_protocol.py", "(exact)"),
     ("baselines_showdown.py", "weight-scale-free"),
+    ("explain_worst_queries.py", "attribution exact: residual=0.0"),
 ])
 def test_example_runs(name, expect):
     out = run_example(name)

@@ -427,6 +427,80 @@ class TestHotLabelAllocation:
 
 
 # ---------------------------------------------------------------------------
+# REP007 — sampler-guarded trace capture
+# ---------------------------------------------------------------------------
+
+class TestUnguardedTraceCapture:
+    def test_unconditional_trace_construction_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def route_many(engine, pairs):
+                for u, v in pairs:
+                    trace = QueryTrace(f"q-{u}", u, v)
+                    engine.route(u, v)
+        """, rules="REP007", relpath="src/repro/serve/snippet.py")
+        assert rule_ids(report) == ["REP007"]
+        assert any("QueryTrace" in f.message for f in report.findings)
+
+    def test_unconditional_capture_call_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def route_many(engine, recorder, pairs):
+                for u, v in pairs:
+                    engine.route(u, v)
+                    recorder.capture_pair(engine, u, v)
+        """, rules="REP007", relpath="src/repro/serve/snippet.py")
+        assert rule_ids(report) == ["REP007"]
+        assert any("capture_pair" in f.message for f in report.findings)
+
+    def test_sampler_guarded_capture_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def route_many(engine, tracer, pairs):
+                sample = tracer.sample_head if tracer is not None else None
+                for u, v in pairs:
+                    engine.route(u, v)
+                    sampled = sample is not None and sample()
+                    if sampled:
+                        tracer.capture_pair(engine, u, v)
+        """, rules="REP007", relpath="src/repro/serve/snippet.py")
+        assert report.clean
+
+    def test_tracer_none_check_guard_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def route_recorded(self, pairs):
+                for u, v in pairs:
+                    t = self.tracer
+                    if t is not None and t.sample_head():
+                        t.capture_pair(self, u, v)
+        """, rules="REP007", relpath="src/repro/serve/snippet.py")
+        assert report.clean
+
+    def test_else_branch_of_guard_still_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def route_many(engine, tracer, pairs):
+                for u, v in pairs:
+                    if tracer.sample_head():
+                        pass
+                    else:
+                        tracer.capture_pair(engine, u, v)
+        """, rules="REP007", relpath="src/repro/serve/snippet.py")
+        assert rule_ids(report) == ["REP007"]
+
+    def test_outside_loops_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def replay_one(engine, recorder, u, v):
+                return recorder.capture_pair(engine, u, v)
+        """, rules="REP007", relpath="src/repro/serve/snippet.py")
+        assert report.clean
+
+    def test_tracing_package_is_out_of_scope(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def finalize(engine, results):
+                return [replay(engine, r) for r in results
+                        if QueryTrace(r.id, r.u, r.v)]
+        """, rules="REP007", relpath="src/repro/tracing/snippet.py")
+        assert report.clean
+
+
+# ---------------------------------------------------------------------------
 # Pragmas, baseline, runner
 # ---------------------------------------------------------------------------
 

@@ -249,6 +249,44 @@ class TestExposition:
         with pytest.raises(ExpositionError):
             parse_prometheus(bad)
 
+    def test_exemplars_round_trip_with_trace_id(self):
+        # S19: exemplar payloads (including the trace id linking to
+        # `repro explain`) must survive render -> parse, OpenMetrics-style.
+        reg = MetricsRegistry()
+        h = reg.histogram("stretch", "Stretch.", exemplar_limit=4)
+        payloads = []
+        for i, v in enumerate([1.5, 9.0, 3.0]):
+            h.add(v)
+            payload = {"source": f"u{i}", "target": f"v{i}",
+                       "trace_id": f"zipf-0-{i:06d}"}
+            payloads.append((v, payload))
+            if h.wants_exemplar(v):
+                h.offer_exemplar(v, payload)
+        text = render_prometheus(reg, now=1.0)
+        assert " # {" in text
+        families = parse_prometheus(text)
+        exemplars = families["repro_serve_stretch"].get("exemplars")
+        assert exemplars, "rendered exemplars must parse back"
+        by_value = {e["value"]: e["labels"] for e in exemplars}
+        for v, payload in payloads:
+            if v in by_value:
+                labels = by_value[v]
+                assert labels["trace_id"] == payload["trace_id"]
+                assert labels["source"] == payload["source"]
+        # The worst value always lands in some rendered bucket line.
+        assert 9.0 in by_value
+
+    def test_exemplar_payload_helper_shape(self):
+        from repro.metrics import exemplar_payload
+        from repro.serve import ServeResult
+        r = ServeResult(source=3, target=9, path=[3, 5, 9], length=4.0,
+                        ok=True, cached=True)
+        p = exemplar_payload(r, trace_id="uniform-0-000007")
+        assert p == {"source": "3", "target": "9", "hops": 2,
+                     "path_prefix": ["3", "5", "9"], "cached": True,
+                     "trace_id": "uniform-0-000007"}
+        assert "trace_id" not in exemplar_payload(r)
+
 
 # ---------------------------------------------------------------------------
 # SLO monitor: windows, burn rules, alerts

@@ -72,6 +72,23 @@ class TestRunMonitor:
         assert report.budget_remaining == 0.0
         assert not record.verdicts[0].passed
 
+    def test_firing_alerts_carry_trace_ids(self, built):
+        """S19: a firing alert's structured event names the tail-traced
+        queries that burned the budget, linking to ``repro explain``."""
+        graph, scheme = built
+        report, record = run_monitor(scheme, graph, queries=600, seed=2,
+                                     slo_bound=0.5, target_qps=100.0)
+        alerts = record.metrics["slo"]["alerts"]
+        firing = [a for a in alerts if a["state"] == "firing"]
+        assert firing
+        for alert in firing:
+            ids = alert.get("trace_ids")
+            assert ids, "firing alerts must reference tail trace ids"
+            assert len(ids) <= 8
+            assert all(i.startswith("uniform-2-") for i in ids)
+        resolved = [a for a in alerts if a["state"] == "resolved"]
+        assert all("trace_ids" not in a for a in resolved)
+
     def test_status_stream_refreshes(self, built):
         graph, scheme = built
         stream = io.StringIO()
@@ -108,8 +125,10 @@ class TestRunMonitor:
         assert values == sorted(values, reverse=True)
         assert values[0] == pytest.approx(report.snapshot[
             "repro_serve_stretch"]["series"][0]["max"])
-        for key in ("source", "target", "hops", "path_prefix", "cached"):
+        for key in ("source", "target", "hops", "path_prefix", "cached",
+                    "trace_id"):
             assert key in exemplars[0], key
+        assert exemplars[0]["trace_id"].startswith("zipf-6-")
 
     def test_report_render(self, built):
         graph, scheme = built
