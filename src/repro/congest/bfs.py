@@ -67,8 +67,13 @@ def build_bfs_tree(net: Network, root: Optional[NodeId] = None) -> BfsTree:
         frontier = [root]
         while frontier:
             for u in frontier:
+                # Pass the engine's own cached port list when the filter
+                # removes nothing: the batched engines recognise it by
+                # identity and take the full-fanout fast lane.
+                ports = net.ports(u)
+                dsts = [w for w in ports if w not in parent]
                 net.send_many(
-                    u, [w for w in net.ports(u) if w not in parent], "bfs"
+                    u, ports if len(dsts) == len(ports) else dsts, "bfs"
                 )
             # Flat delivery: pick each vertex's first sender in repr order
             # without building per-destination inboxes.  ``best`` keeps

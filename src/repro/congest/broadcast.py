@@ -71,8 +71,7 @@ def broadcast_all(
         # Transit buffers on the pipeline: O(log n) words per relay vertex,
         # whp (random start times, cf. the proof of Lemma 2).
         buffer_words = max(1, int(math.log2(max(2, net.n))))
-        for v in net.nodes():
-            net.mem(v).store("relay/broadcast", buffer_words)
+        net.store_all("relay/broadcast", buffer_words)
         net.charge_rounds(
             rounds,
             messages=slots * (net.n - 1 + height),
@@ -101,8 +100,7 @@ def convergecast_aggregate(
     """
     height = bfs.height
     net.begin_phase(phase)
-    for v in net.nodes():
-        net.mem(v).store("relay/convergecast", 1)
+    net.store_all("relay/convergecast", 1)
     net.charge_rounds(height, messages=net.n - 1, words=net.n - 1)
     net.free_key("relay/convergecast")
     net.end_phase()

@@ -90,7 +90,22 @@ class MemoryMeter:
 
         Freeing an absent key is a no-op: stages free their scratch space
         unconditionally on exit.
+
+        An exact-key free resolves through the item index without scanning
+        any keys, so it resets ``last_prefix_scan`` to 0: the probe always
+        describes the *most recent* teardown operation.  Bulk exact-key
+        teardowns (``Network.free_key`` issued from a vectorized round
+        close) previously left a stale scan count from an earlier
+        :meth:`free_prefix` pinned — the regression test in
+        ``tests/test_congest_memory.py`` holds this either way.
         """
+        self.last_prefix_scan = 0
+        self._release(key)
+
+    def _release(self, key: str) -> None:
+        """Drop ``key`` from the footprint and both indexes without
+        touching ``last_prefix_scan`` (so :meth:`free_prefix`'s loop does
+        not clobber the scan count it just recorded)."""
         previous = self._items.pop(key, None)
         if previous is not None:
             self._current -= previous
@@ -121,7 +136,7 @@ class MemoryMeter:
             self.last_prefix_scan = len(self._items)
             matches = [k for k in self._items if k.startswith(prefix)]
         for key in matches:
-            self.free(key)
+            self._release(key)
 
     # -- inspection ----------------------------------------------------------
 

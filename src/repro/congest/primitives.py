@@ -126,14 +126,18 @@ def flood_down(
         senders = [v for v in levels[level_index] if v in value]
         any_sent = False
         for v in senders:
-            if not forest.children[v]:
+            kids = forest.children[v]
+            if not kids:
                 continue
             out = emit(v, value[v])
-            per_child = out if isinstance(out, dict) else None
-            for c in forest.children[v]:
-                payload = per_child[c] if per_child is not None else out
-                net.send(v, c, kind, payload)
-                any_sent = True
+            if isinstance(out, dict):
+                for c in kids:
+                    net.send(v, c, kind, out[c])
+            else:
+                # Shared payload: one batched call sizes it once and lets
+                # the vectorized engine queue the whole sibling fanout.
+                net.send_many(v, kids, kind, out)
+            any_sent = True
         if not any_sent:
             continue
         inboxes = net.tick()

@@ -1,0 +1,571 @@
+"""The vectorized CONGEST round engine (batch-native fast lane).
+
+:class:`VectorizedNetwork` extends the fast-path engine of
+:mod:`repro.congest.network` with a round representation that keeps batches
+*as batches* until something observes individual messages:
+
+* **Deferred materialization.**  ``send_many`` queues one *segment* — a
+  ``(src, dsts, kind, payload, words)`` record — instead of ``len(dsts)``
+  :class:`~repro.congest.message.Message` objects.  ``deliver_batch``
+  returns a :class:`_LazyMessages` view that knows its length up front and
+  expands segments into real messages only on first element access.  A
+  counting flood (the fig7 benchmark kernel, BFS frontier waves) that only
+  needs ``len()`` never pays for message construction at all.
+* **O(1) congestion summaries over CSR arc ranges.**  An arc ``src -> dst``
+  can only be loaded by sends *from* ``src``, so per-round capacity state
+  decomposes exactly into a per-source *uniform* component (full fanouts:
+  the same load on every arc of the source's contiguous CSR slot range), a
+  per-source *sparse* overlay (scalar sends and partial fanouts), and a
+  round-global uniform term (:meth:`flood_all`).  A full fanout updates one
+  dict entry; the strict capacity check compares one precomputed peak.
+  When the peak check proves a violation, a rare-path scalar replay finds
+  the exact offending destination so the raised
+  :class:`~repro.errors.CongestModelViolation` — text, partial queued
+  state, word accounting — is byte-identical to the reference engine's.
+* **Whole-round kernels.**  :meth:`flood_all` queues "every vertex fans out
+  to all its ports" as a single O(1) segment; the loop engines execute the
+  same call as ``n`` ``send_many``\\ s, so it is differentially certified
+  like every other entry point.
+
+Where numpy fits
+----------------
+The synchronous send lanes are pure-python O(1) summaries: at CONGEST batch
+sizes (a vertex degree) the fixed per-call dispatch cost of a numpy ufunc
+exceeds the work it vectorizes (measured in ``benchmarks/sim_micro.py``).
+numpy instead backs the *dense* views where whole-arc-array math is real
+work: :meth:`queued_arc_loads` reconstructs the round's per-arc load vector
+with range and scatter adds.  When numpy is unavailable — or masked with
+``REPRO_NO_NUMPY=1``, the CI leg that proves the fallback — the same views
+are computed by equivalent python loops and nothing else changes.
+
+Observable behaviour (message order, inboxes, metrics fingerprints, memory
+accounting, violations and post-violation state) is byte-identical to both
+:class:`~repro.congest.network.Network` and the frozen
+:class:`~repro.congest.reference.ReferenceNetwork`; the three-way
+differential matrix under ``tests/differential/`` and the property suite in
+``tests/test_congest_vectorized_properties.py`` enforce it.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional
+
+import networkx as nx
+
+from ..errors import CongestModelViolation
+from ..telemetry import events as _tele
+from ..wordsize import words_of
+from .message import Message
+from .network import Network
+
+NodeId = Hashable
+
+
+def _import_numpy() -> Optional[Any]:
+    """numpy, unless absent or masked via ``REPRO_NO_NUMPY=1``.
+
+    The environment gate exists for CI: the no-numpy tier-1 leg cannot
+    uninstall the package, so it masks it here to exercise the pure-python
+    fallback paths end to end.
+    """
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - the toolchain ships numpy
+        return None
+    return numpy
+
+
+_np = _import_numpy()
+
+#: True when the dense-array views run on numpy (fallback loops otherwise).
+HAVE_NUMPY = _np is not None
+
+#: Sentinel source marking a whole-network fanout segment (``flood_all``).
+#: A dedicated object, not ``None``: ``None`` is a legal vertex id.
+_ALL_SOURCES: Any = object()
+
+
+class _LazyMessages(List[Message]):
+    """Delivered-messages list that materializes on first element access.
+
+    Holds the round's segment records and the (exact) message count;
+    ``len()`` and truthiness never build messages, while iteration,
+    indexing, and comparisons expand the segments into the same
+    :class:`Message` objects — in the same order — the scalar engines
+    would have queued.  Treat it as read-only: it is a view of a delivered
+    round, and mutating views of history has no model meaning.
+    """
+
+    __slots__ = ("_segments", "_count")
+
+    def __init__(self, segments: List[Any], count: int) -> None:
+        list.__init__(self)
+        self._segments: Optional[List[Any]] = segments
+        self._count = count
+
+    def _materialize(self) -> None:
+        segments = self._segments
+        if segments is None:
+            return
+        self._segments = None
+        out: List[Message] = []
+        append = out.append
+        extend = out.extend
+        for seg in segments:
+            if type(seg) is Message:
+                append(seg)
+            else:
+                src, dsts, kind, payload, words = seg
+                # The widths below were sized by words_of at queue time
+                # (send_many / _queue_scalar); segments replay them verbatim.
+                if src is _ALL_SOURCES:
+                    # lint: ignore[REP003] -- width precomputed at queue time
+                    extend(Message(s, d, kind, payload, words) for s, d in dsts)
+                else:
+                    # lint: ignore[REP003] -- width precomputed at queue time
+                    extend(Message(src, d, kind, payload, words) for d in dsts)
+        list.extend(self, out)
+
+    # -- size is known without materializing --------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- element access materializes ----------------------------------------
+
+    def __iter__(self) -> Iterator[Message]:
+        self._materialize()
+        return list.__iter__(self)
+
+    def __getitem__(self, index: Any) -> Any:
+        self._materialize()
+        return list.__getitem__(self, index)
+
+    def __contains__(self, item: object) -> bool:
+        self._materialize()
+        return list.__contains__(self, item)
+
+    def __reversed__(self) -> Iterator[Message]:
+        self._materialize()
+        return list.__reversed__(self)
+
+    def __repr__(self) -> str:
+        self._materialize()
+        return list.__repr__(self)
+
+    def __eq__(self, other: object) -> Any:
+        self._materialize()
+        if isinstance(other, _LazyMessages):
+            other._materialize()
+        return list.__eq__(self, other)
+
+    def __ne__(self, other: object) -> Any:
+        self._materialize()
+        if isinstance(other, _LazyMessages):
+            other._materialize()
+        return list.__ne__(self, other)
+
+    def __add__(self, other: Any) -> Any:
+        self._materialize()
+        return list.__add__(self, other)
+
+    def __iadd__(self, other: Any) -> Any:
+        self._materialize()
+        return list.__iadd__(self, other)
+
+    def index(self, *args: Any) -> int:
+        self._materialize()
+        return list.index(self, *args)
+
+    def count(self, value: Any) -> int:
+        self._materialize()
+        return list.count(self, value)
+
+    def copy(self) -> List[Message]:
+        self._materialize()
+        return list.copy(self)
+
+
+class VectorizedNetwork(Network):
+    """Batch-native CONGEST engine; same contract, deferred message objects.
+
+    Drop-in for :class:`~repro.congest.network.Network`: every public entry
+    point behaves identically (the differential matrix proves it).  The
+    per-message API (:meth:`send` / :meth:`send_message`) is the compatible
+    slow lane; protocols speaking ``send_many`` batches or
+    :meth:`flood_all` rounds take the O(1)-per-batch fast lane.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        *,
+        message_word_limit: int = 4,
+        edge_capacity: int = 1,
+        strict: bool = True,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            graph,
+            message_word_limit=message_word_limit,
+            edge_capacity=edge_capacity,
+            strict=strict,
+            seed=seed,
+        )
+        #: Queued round as segment records: either a :class:`Message`
+        #: (scalar lane) or a ``(src, dsts, kind, payload, words)`` batch.
+        #: The parent's ``_outbox`` / ``_edge_load`` stay empty — this
+        #: engine replaces both representations wholesale.
+        self._segments: List[Any] = []
+        self._seg_count = 0
+        #: Round-global uniform load on *every* arc (``flood_all`` lane).
+        self._fan_all = 0
+        #: Per-source uniform load: ``src id -> load added to every arc of
+        #: the source's CSR slot range`` (full ``send_many`` fanouts).
+        self._fan_uniform: Dict[int, int] = {}
+        #: Per-source sparse overlay: ``src id -> {arc id: extra load}``
+        #: (scalar sends and partial fanouts).
+        self._fan_sparse: Dict[int, Dict[int, int]] = {}
+
+    # -- messaging: scalar (compatible slow lane) ----------------------------
+
+    def send(self, src: NodeId, dst: NodeId, kind: str, payload: Any = None) -> None:
+        """Queue a message for delivery at the next :meth:`tick`."""
+        arc = self._arc_of.get((src, dst))
+        if arc is None:
+            raise CongestModelViolation(f"{src!r} -> {dst!r} is not an edge")
+        words = 1 if payload is None else words_of(payload)
+        limit = self.message_word_limit
+        slots = 1 if words <= limit else -(-words // limit)
+        self._queue_scalar(Message(src, dst, kind, payload, words), arc, slots)
+
+    def send_message(self, msg: Message) -> None:
+        """Queue an already-built :class:`Message` (zero-copy slow lane)."""
+        arc = self._arc_of.get((msg.src, msg.dst))
+        if arc is None:
+            raise CongestModelViolation(f"{msg.src!r} -> {msg.dst!r} is not an edge")
+        words = msg.words
+        limit = self.message_word_limit
+        slots = 1 if words <= limit else -(-words // limit)
+        self._queue_scalar(msg, arc, slots)
+
+    def _queue_scalar(self, msg: Message, arc: int, slots: int) -> None:
+        """Shared tail of the scalar sends: check capacity against the
+        summaries, record the load in the sparse overlay, queue the
+        message object as its own segment."""
+        sid = self._id_of[msg.src]
+        sp = self._fan_sparse.get(sid)
+        extra = sp.get(arc, 0) if sp is not None else 0
+        prior = self._fan_all + self._fan_uniform.get(sid, 0) + extra
+        if self.strict:
+            load = prior + slots
+            if load > self.edge_capacity and slots == 1:
+                raise CongestModelViolation(
+                    f"edge {msg.src!r}->{msg.dst!r} over capacity in round "
+                    f"{self.metrics.rounds}: {load} > {self.edge_capacity}"
+                )
+        if sp is None:
+            self._fan_sparse[sid] = {arc: slots}
+        else:
+            sp[arc] = extra + slots
+        self._segments.append(msg)
+        self._seg_count += 1
+        self._outbox_words += msg.words
+        if slots > 1:
+            self.metrics.on_charge(slots - 1)
+            _tele.emit("congest.charged_rounds", slots - 1)
+
+    # -- messaging: batched (fast lane) ---------------------------------------
+
+    def send_many(
+        self, src: NodeId, dsts: Iterable[NodeId], kind: str, payload: Any = None
+    ) -> int:
+        """Fan ``payload`` out from ``src`` to every vertex in ``dsts``.
+
+        Semantically identical to a loop over :meth:`send` (the differential
+        matrix holds this to the byte), but a full fanout — the caller
+        passing the cached port table itself — queues one segment and
+        updates one uniform-load entry, independent of the degree.
+        """
+        words = 1 if payload is None else words_of(payload)
+        limit = self.message_word_limit
+        slots = 1 if words <= limit else -(-words // limit)
+        sid = self._id_of.get(src)
+        if sid is not None:
+            ports = self._ports_table[sid]
+            if dsts is ports:
+                uniform = self._fan_uniform
+                u = uniform.get(sid, 0)
+                if self.strict and slots == 1:
+                    sparse = self._fan_sparse
+                    sp = sparse.get(sid) if sparse else None
+                    peak = self._fan_all + u + (max(sp.values()) if sp else 0)
+                    if peak >= self.edge_capacity:
+                        # peak + 1 > capacity: some arc of this fanout must
+                        # overload -- replay scalar to fail identically.
+                        return self._fanout_overflow(
+                            src, sid, ports, kind, payload, words
+                        )
+                count = len(ports)
+                uniform[sid] = u + slots
+                self._segments.append((src, ports, kind, payload, words))
+                self._seg_count += count
+                self._outbox_words += words * count
+                if slots > 1:
+                    self._charge_wide(slots - 1, count)
+                return count
+        return self._send_many_slow(src, dsts, kind, payload, words, slots)
+
+    def _send_many_slow(
+        self,
+        src: NodeId,
+        dsts: Iterable[NodeId],
+        kind: str,
+        payload: Any,
+        words: int,
+        slots: int,
+    ) -> int:
+        """Partial fanout: walk the destinations with dict arc lookups but
+        still defer message construction into one batch segment."""
+        arc_of = self._arc_of
+        strict = self.strict
+        capacity = self.edge_capacity
+        sid = self._id_of.get(src)
+        base = self._fan_all + (self._fan_uniform.get(sid, 0) if sid is not None else 0)
+        sp = self._fan_sparse.get(sid) if sid is not None else None
+        queued: List[NodeId] = []
+        count = 0
+        for dst in dsts:
+            arc = arc_of.get((src, dst))
+            if arc is None:
+                # Validation is interleaved, not up-front: a non-edge leaves
+                # the earlier messages of the batch queued, exactly like a
+                # loop over :meth:`send` would.
+                self._flush_batch(src, queued, kind, payload, words, count)
+                raise CongestModelViolation(f"{src!r} -> {dst!r} is not an edge")
+            if sp is None:
+                assert sid is not None  # arc exists => src is a vertex
+                sp = self._fan_sparse.setdefault(sid, {})
+            extra = sp.get(arc, 0)
+            if strict:
+                load = base + extra + slots
+                if load > capacity and slots == 1:
+                    self._flush_batch(src, queued, kind, payload, words, count)
+                    raise CongestModelViolation(
+                        f"edge {src!r}->{dst!r} over capacity in round "
+                        f"{self.metrics.rounds}: {load} > {capacity}"
+                    )
+            sp[arc] = extra + slots
+            queued.append(dst)
+            count += 1
+            if slots > 1:
+                self.metrics.on_charge(slots - 1)
+                _tele.emit("congest.charged_rounds", slots - 1)
+        self._flush_batch(src, queued, kind, payload, words, count)
+        return count
+
+    def _fanout_overflow(
+        self,
+        src: NodeId,
+        sid: int,
+        dsts: List[NodeId],
+        kind: str,
+        payload: Any,
+        words: int,
+    ) -> int:
+        """Rare lane: the O(1) peak check proved this full fanout overloads
+        some arc.  Replay destination-by-destination (arc ids are the CSR
+        slot range, no hashing) so the violation text and the queued prefix
+        match the loop engines byte for byte."""
+        base = self._fan_all + self._fan_uniform.get(sid, 0)
+        sp = self._fan_sparse.setdefault(sid, {})
+        lo = self._adj_offsets[sid]
+        capacity = self.edge_capacity
+        queued: List[NodeId] = []
+        count = 0
+        for offset, dst in enumerate(dsts):
+            arc = lo + offset
+            extra = sp.get(arc, 0)
+            load = base + extra + 1
+            if load > capacity:
+                self._flush_batch(src, queued, kind, payload, words, count)
+                raise CongestModelViolation(
+                    f"edge {src!r}->{dst!r} over capacity in round "
+                    f"{self.metrics.rounds}: {load} > {capacity}"
+                )
+            sp[arc] = extra + 1
+            queued.append(dst)
+            count += 1
+        # Defensive: unreachable while the peak check is exact.
+        self._flush_batch(src, queued, kind, payload, words, count)
+        return count
+
+    def _flush_batch(
+        self,
+        src: NodeId,
+        queued: List[NodeId],
+        kind: str,
+        payload: Any,
+        words: int,
+        count: int,
+    ) -> None:
+        """Queue the accumulated prefix of a walked batch (also the path a
+        mid-batch violation takes: earlier messages stay queued)."""
+        if count:
+            self._segments.append((src, queued, kind, payload, words))
+            self._seg_count += count
+        self._outbox_words += words * count
+
+    def _charge_wide(self, extra: int, count: int) -> None:
+        """``count`` wide messages, ``extra`` charged rounds each.  Folded
+        into one counter update unless telemetry collectors are attached —
+        then the event stream must stay per-message."""
+        if _tele._collectors:
+            on_charge = self.metrics.on_charge
+            for _ in range(count):
+                on_charge(extra)
+                _tele.emit("congest.charged_rounds", extra)
+        else:
+            self.metrics.on_charge_bulk(extra, count)
+
+    # -- messaging: whole-round kernel ----------------------------------------
+
+    def flood_all(self, kind: str, payload: Any = None) -> int:
+        """Every vertex fans ``payload`` out to all of its ports, in node
+        order — one whole-round flood as a single O(1) segment.
+
+        The loop engines execute this call as ``n`` full fanouts, so it is
+        covered by the same differential certification.  Returns the number
+        of messages queued (the arc count).
+        """
+        words = 1 if payload is None else words_of(payload)
+        limit = self.message_word_limit
+        slots = 1 if words <= limit else -(-words // limit)
+        if (
+            self.strict
+            and slots == 1
+            and self._queued_peak() + 1 > self.edge_capacity
+        ):
+            # Some arc must overload: replay vertex-by-vertex so the
+            # violation and the queued prefix match the loop engines.
+            count = 0
+            for i, v in enumerate(self._node_of):
+                count += self.send_many(v, self._ports_table[i], kind, payload)
+            return count
+        count = len(self._arc_ends)
+        if count:
+            self._fan_all += slots
+            self._segments.append((_ALL_SOURCES, self._arc_ends, kind, payload, words))
+            self._seg_count += count
+            self._outbox_words += words * count
+            if slots > 1:
+                self._charge_wide(slots - 1, count)
+        return count
+
+    # -- round close -----------------------------------------------------------
+
+    def _finish_round(self, delivered: _LazyMessages, words: int) -> None:
+        """Metrics / telemetry / observers, then reset the round state.
+        Mirrors the parent's ``_end_round`` ordering exactly."""
+        self.metrics.on_round(self._seg_count, words)
+        if _tele._collectors:
+            _tele.emit("congest.rounds", 1)
+            if delivered:
+                _tele.emit("congest.messages", self._seg_count)
+                _tele.emit("congest.message_words", words)
+        if self._round_observers:
+            for obs in self._round_observers:
+                obs.on_round(self, delivered, words)
+        self._segments = []
+        self._seg_count = 0
+        self._outbox_words = 0
+        self._fan_all = 0
+        if self._fan_uniform:
+            self._fan_uniform.clear()
+        if self._fan_sparse:
+            self._fan_sparse.clear()
+
+    def tick(self) -> Dict[NodeId, List[Message]]:
+        """Deliver queued messages, advance one round, return inboxes.
+
+        Grouping by destination observes every message, so this entry point
+        materializes; batch-speaking protocols use :meth:`deliver_batch`.
+        """
+        delivered = _LazyMessages(self._segments, self._seg_count)
+        words = self._outbox_words
+        inboxes: Dict[NodeId, List[Message]] = defaultdict(list)
+        for msg in delivered:
+            inboxes[msg.dst].append(msg)
+        self._finish_round(delivered, words)
+        return inboxes
+
+    def deliver_batch(self) -> List[Message]:
+        """Deliver queued messages as one flat (lazy) list.
+
+        The returned view materializes :class:`Message` objects only when
+        elements are observed; counting callers never build them.
+        """
+        delivered = _LazyMessages(self._segments, self._seg_count)
+        self._finish_round(delivered, self._outbox_words)
+        return delivered
+
+    # -- dense views (numpy-backed, python fallback) ---------------------------
+
+    def queued_arc_loads(self) -> List[int]:
+        """Per-arc queued load of the open round as a dense arc-id vector.
+
+        Reconstructs, from the O(1) summaries, exactly the load counters
+        the scalar engines maintain per send: a range add per uniform
+        source, a scatter add for the sparse overlay, a constant for the
+        ``flood_all`` term.  numpy executes the array math when available;
+        the pure-python fallback (:meth:`_queued_arc_loads_py`) is the
+        ``REPRO_NO_NUMPY`` path.  Audit/introspection API — never on the
+        send lanes.
+        """
+        if _np is None:
+            return self._queued_arc_loads_py()
+        loads = _np.full(len(self._arc_ends), self._fan_all, dtype=_np.int64)
+        offsets = self._adj_offsets
+        for sid, u in self._fan_uniform.items():
+            loads[offsets[sid]:offsets[sid + 1]] += u
+        for sp in self._fan_sparse.values():
+            if sp:
+                arcs = _np.fromiter(sp.keys(), dtype=_np.int64, count=len(sp))
+                vals = _np.fromiter(sp.values(), dtype=_np.int64, count=len(sp))
+                _np.add.at(loads, arcs, vals)
+        return [int(x) for x in loads]
+
+    def _queued_arc_loads_py(self) -> List[int]:
+        """Pure-python twin of :meth:`queued_arc_loads`."""
+        loads = [self._fan_all] * len(self._arc_ends)
+        offsets = self._adj_offsets
+        for sid, u in self._fan_uniform.items():
+            for arc in range(offsets[sid], offsets[sid + 1]):
+                loads[arc] += u
+        for sp in self._fan_sparse.values():
+            for arc, extra in sp.items():
+                loads[arc] += extra
+        return loads
+
+    def _queued_peak(self) -> int:
+        """Maximum queued load over all arcs, from the summaries alone
+        (O(sources active this round); the :meth:`flood_all` guard)."""
+        fan_all = self._fan_all
+        peak = fan_all
+        uniform = self._fan_uniform
+        sparse = self._fan_sparse
+        for sid, u in uniform.items():
+            sp = sparse.get(sid)
+            load = fan_all + u + (max(sp.values()) if sp else 0)
+            if load > peak:
+                peak = load
+        for sid, sp in sparse.items():
+            if sp and sid not in uniform:
+                load = fan_all + max(sp.values())
+                if load > peak:
+                    peak = load
+        return peak

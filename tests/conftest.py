@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.congest import Network
+from repro.congest import ENGINES, Network
 from repro.graphs import (
     grid_graph,
     random_connected_graph,
@@ -40,6 +40,17 @@ def grid():
 @pytest.fixture(scope="session")
 def cliquey():
     return ring_of_cliques(6, 8, seed=SEED)
+
+
+@pytest.fixture(params=["reference", "fastpath", "vectorized"])
+def engine(request):
+    """Round-engine class, parametrized over all three backends.
+
+    Tests taking this fixture run three times — against the frozen
+    reference oracle, the fast path, and the vectorized engine — so every
+    behavioral assertion in the congest suite triples its coverage.
+    """
+    return ENGINES[request.param]
 
 
 @pytest.fixture()

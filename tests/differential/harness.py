@@ -125,21 +125,30 @@ def _proto_floodmax(net: Any, seed: int) -> None:
 
 def _proto_flood_kernel(net: Any, seed: int) -> None:
     """Raw engine kernel: full-neighborhood exchanges, alternating the
-    dict-shaped (``tick``) and flat (``deliver_batch``) delivery paths,
-    with occasional wide payloads (charged extra rounds) and idle gaps."""
+    dict-shaped (``tick``) and flat (``deliver_batch``) delivery paths and
+    the per-vertex (``send_many``) and whole-round (``flood_all``) fanout
+    entry points, with occasional wide payloads (charged extra rounds),
+    partial fanouts, and idle gaps."""
     rng = random.Random(seed)
     nodes = sorted(net.nodes(), key=repr)
     wide = list(range(net.message_word_limit + 2))
     for r in range(6):
         payload = wide if r % 3 == 2 else r
-        for v in nodes:
-            net.send_many(v, net.ports(v), "flood", payload)
+        if r % 2:
+            net.flood_all("flood", payload)
+        else:
+            for v in nodes:
+                net.send_many(v, net.ports(v), "flood", payload)
         if r % 2:
             net.tick()
         else:
             net.deliver_batch()
         if rng.random() < 0.3:
             net.idle_rounds(1)
+    # Partial fanouts (every other port): the non-contiguous batch lane.
+    for v in nodes[:5]:
+        net.send_many(v, net.ports(v)[::2], "partial", seed)
+    net.deliver_batch()
     net.charge_rounds(seed % 4, messages=seed % 3, words=seed % 5)
 
 

@@ -1,20 +1,21 @@
-"""Randomized replay: fast-path engine vs reference engine.
+"""Randomized replay: fast-path and vectorized engines vs the reference.
 
-Every case builds one graph, runs one workload on *both* engines, and
-asserts the full observable fingerprint matches — metrics (with phases),
-per-directed-edge message totals, charge events, per-vertex memory
-high-waters, and the round-trace timeline.
+Every case builds one graph, runs one workload on *all three* engines, and
+asserts the full observable fingerprint matches the reference oracle —
+metrics (with phases), per-directed-edge message totals, charge events,
+per-vertex memory high-waters, and the round-trace timeline.
 
 The full matrix is |TOPOLOGIES| x |PROTOCOLS| x |SEEDS| = 7 x 4 x 9 = 252
-replays (>= the 200 the acceptance bar asks for); ``REPRO_DIFF_QUICK=1``
-shrinks the seed axis for CI smoke runs.
+replays (>= the 200 the acceptance bar asks for), each certifying two
+candidate engines; ``REPRO_DIFF_QUICK=1`` shrinks the seed axis for CI
+smoke runs.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.congest import Network, ReferenceNetwork
+from repro.congest import ENGINES, ReferenceNetwork
 
 from .harness import (
     PROTOCOLS,
@@ -25,6 +26,9 @@ from .harness import (
 )
 
 SEEDS = range(2) if QUICK else range(9)
+
+#: The engines certified against the reference oracle.
+CANDIDATES = ("fastpath", "vectorized")
 
 CASES = [
     pytest.param(topo, proto, seed, id=f"{topo}-{proto}-s{seed}")
@@ -38,23 +42,28 @@ CASES = [
 def test_engines_agree(topo, proto, seed):
     graph = build_topology(topo, seed)
     workload = PROTOCOLS[proto]
-    # Fresh graph objects per engine: engines must not depend on (or
-    # mutate) shared graph state.
     ref = run_fingerprint(
         ReferenceNetwork, graph, workload, seed, edge_capacity=1, seed=seed
     )
-    fast = run_fingerprint(
-        Network, build_topology(topo, seed), workload, seed,
-        edge_capacity=1, seed=seed,
-    )
-    for key in ref:
-        assert fast[key] == ref[key], f"engines disagree on {key!r}"
+    for name in CANDIDATES:
+        # Fresh graph objects per engine: engines must not depend on (or
+        # mutate) shared graph state.
+        candidate = run_fingerprint(
+            ENGINES[name], build_topology(topo, seed), workload, seed,
+            edge_capacity=1, seed=seed,
+        )
+        for key in ref:
+            assert candidate[key] == ref[key], (
+                f"{name} disagrees with reference on {key!r}"
+            )
 
 
 def test_case_matrix_is_large_enough():
-    """The acceptance bar: >= 200 replays, >= 5 topologies, >= 3 protocols."""
+    """The acceptance bar: >= 200 replays, >= 5 topologies, >= 3 protocols,
+    certifying both candidate engines three-way."""
     if QUICK:
         pytest.skip("quick mode runs a reduced matrix")
     assert len(TOPOLOGIES) >= 5
     assert len(PROTOCOLS) >= 3
     assert len(CASES) >= 200
+    assert len(CANDIDATES) == 2

@@ -1,12 +1,14 @@
-"""Seeded protocol fuzzer: random message schedules on both engines.
+"""Seeded protocol fuzzer: random message schedules on all three engines.
 
 Unlike the replay tests (which drive real algorithm code), the fuzzer
 generates adversarial *raw* schedules — including deliberate capacity
 violations and non-edge sends — and asserts the engines fail identically:
 same :class:`~repro.errors.CongestModelViolation` at the same operation, in
-the same round, with the byte-identical message.  After a violation both
-engines must also be left in the same state (the schedule keeps going), so
-post-exception divergence cannot hide.
+the same round, with the byte-identical message.  After a violation each
+engine must also be left in the same state (the schedule keeps going), so
+post-exception divergence cannot hide.  Besides outcomes and metrics, the
+post-run check covers per-vertex memory high-waters *and* the
+``last_prefix_scan`` pins, so bulk-free bookkeeping cannot drift either.
 
 Schedules are generated once per seed and applied to each engine
 independently; everything is derived from ``random.Random(seed)``, so a
@@ -20,10 +22,13 @@ from typing import Any, List, Tuple
 
 import pytest
 
-from repro.congest import Network, ReferenceNetwork
+from repro.congest import ENGINES, ReferenceNetwork
 from repro.errors import CongestModelViolation
 
 from .harness import QUICK, TOPOLOGIES, build_topology, run_fingerprint
+
+#: The engines certified against the reference oracle.
+CANDIDATES = ("fastpath", "vectorized")
 
 FUZZ_SEEDS = range(4) if QUICK else range(30)
 TOPO_NAMES = sorted(TOPOLOGIES)
@@ -35,13 +40,17 @@ def make_schedule(graph: Any, seed: int, *, rounds: int = 12) -> List[Tuple]:
     Ops:
       ("send", src, dst, kind, payload)        -- dst may be a NON-neighbor
       ("send_many", src, dsts, kind, payload)  -- dsts may contain a non-edge
+      ("flood_all", payload)                   -- whole-round fanout kernel
       ("close", "tick" | "deliver")            -- end the round either way
       ("idle", k) / ("charge", r, m, w)        -- accounting paths
-      ("mem", v, key, words) / ("free", prefix)
+      ("mem", v, key, words) / ("free", prefix) / ("free_key", key)
 
     Capacity violations arise naturally: several sends may pick the same
-    directed edge within one round.  Wide payloads (> word limit) exercise
-    the multi-slot charging path, which must never raise.
+    directed edge within one round, and a ``flood_all`` after any send on a
+    strict network overloads every already-loaded arc — exercising the
+    vectorized engine's fallback-and-replay path mid-schedule.  Wide
+    payloads (> word limit) exercise the multi-slot charging path, which
+    must never raise.
     """
     rng = random.Random(seed * 6151 + 17)
     nodes = sorted(graph.nodes, key=repr)
@@ -51,7 +60,7 @@ def make_schedule(graph: Any, seed: int, *, rounds: int = 12) -> List[Tuple]:
         for _ in range(rng.randrange(0, 10)):
             roll = rng.random()
             src = rng.choice(nodes)
-            if roll < 0.55:
+            if roll < 0.50:
                 # Mostly-legal single sends; ~1 in 12 aims at a non-edge.
                 if rng.random() < 0.08:
                     dst = rng.choice(nodes)
@@ -61,20 +70,29 @@ def make_schedule(graph: Any, seed: int, *, rounds: int = 12) -> List[Tuple]:
                     [None, rng.randrange(100), list(range(rng.randrange(5, 9)))]
                 )
                 schedule.append(("send", src, dst, "fuzz", payload))
-            elif roll < 0.85:
+            elif roll < 0.78:
                 dsts = rng.sample(
                     neighbors[src], rng.randrange(1, len(neighbors[src]) + 1)
                 )
                 if rng.random() < 0.1:
                     dsts.insert(rng.randrange(len(dsts) + 1), rng.choice(nodes))
                 schedule.append(("send_many", src, dsts, "fan", None))
-            elif roll < 0.92:
+            elif roll < 0.84:
+                payload = rng.choice(
+                    [None, rng.randrange(50), list(range(rng.randrange(5, 9)))]
+                )
+                schedule.append(("flood_all", payload))
+            elif roll < 0.90:
                 schedule.append(
                     ("mem", src, rng.choice(["fz/a", "fz/b", "plain"]),
                      rng.randrange(1, 5))
                 )
-            elif roll < 0.96:
+            elif roll < 0.94:
                 schedule.append(("free", rng.choice(["fz/", "fz/a", "plain"])))
+            elif roll < 0.97:
+                schedule.append(
+                    ("free_key", rng.choice(["fz/a", "fz/b", "plain", "ghost"]))
+                )
             else:
                 schedule.append(
                     ("charge", rng.randrange(0, 3), rng.randrange(0, 4),
@@ -97,6 +115,8 @@ def apply_schedule(net: Any, schedule: List[Tuple]) -> List[Tuple]:
                 outcomes.append(("ok",))
             elif tag == "send_many":
                 outcomes.append(("ok", net.send_many(op[1], op[2], op[3], op[4])))
+            elif tag == "flood_all":
+                outcomes.append(("ok", net.flood_all("flood", op[1])))
             elif tag == "close":
                 if op[1] == "tick":
                     inboxes = net.tick()
@@ -126,6 +146,9 @@ def apply_schedule(net: Any, schedule: List[Tuple]) -> List[Tuple]:
             elif tag == "free":
                 net.free_all(op[1])
                 outcomes.append(("ok",))
+            elif tag == "free_key":
+                net.free_key(op[1])
+                outcomes.append(("ok",))
         except CongestModelViolation as exc:
             outcomes.append(("violation", str(exc)))
     return outcomes
@@ -137,17 +160,24 @@ def _run_fuzz(topo: str, seed: int, *, strict: bool) -> None:
 
     ref = ReferenceNetwork(graph, strict=strict)
     ref_outcomes = apply_schedule(ref, schedule)
-    fast = Network(build_topology(topo, seed), strict=strict)
-    fast_outcomes = apply_schedule(fast, schedule)
+    ref_waters = {repr(v): hw for v, hw in ref.memory_high_water().items()}
+    ref_pins = {repr(v): ref.mem(v).last_prefix_scan for v in ref.nodes()}
 
-    for i, (op, a, b) in enumerate(zip(schedule, ref_outcomes, fast_outcomes)):
-        assert a == b, f"op {i} {op[0]!r}: reference {a!r} != fast {b!r}"
-    assert fast.metrics.fingerprint() == ref.metrics.fingerprint()
-    assert fast.metrics.to_dict() == ref.metrics.to_dict()
-    assert (
-        {repr(v): hw for v, hw in fast.memory_high_water().items()}
-        == {repr(v): hw for v, hw in ref.memory_high_water().items()}
-    )
+    for name in CANDIDATES:
+        net = ENGINES[name](build_topology(topo, seed), strict=strict)
+        outcomes = apply_schedule(net, schedule)
+        for i, (op, a, b) in enumerate(zip(schedule, ref_outcomes, outcomes)):
+            assert a == b, f"op {i} {op[0]!r}: reference {a!r} != {name} {b!r}"
+        assert net.metrics.fingerprint() == ref.metrics.fingerprint(), name
+        assert net.metrics.to_dict() == ref.metrics.to_dict(), name
+        assert (
+            {repr(v): hw for v, hw in net.memory_high_water().items()}
+            == ref_waters
+        ), name
+        assert (
+            {repr(v): net.mem(v).last_prefix_scan for v in net.nodes()}
+            == ref_pins
+        ), name
 
 
 @pytest.mark.parametrize(

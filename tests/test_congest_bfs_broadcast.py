@@ -1,10 +1,13 @@
-"""Unit tests for BFS-tree construction and Lemma-1 broadcast primitives."""
+"""Unit tests for BFS-tree construction and Lemma-1 broadcast primitives.
+
+The ``net`` fixture builds on the engine-parametrized ``engine`` fixture,
+so every test here runs against reference, fastpath, and vectorized.
+"""
 
 import networkx as nx
 import pytest
 
 from repro.congest import (
-    Network,
     broadcast_all,
     build_bfs_tree,
     convergecast_aggregate,
@@ -13,8 +16,8 @@ from repro.graphs import random_connected_graph
 
 
 @pytest.fixture()
-def net():
-    return Network(random_connected_graph(80, seed=5))
+def net(engine):
+    return engine(random_connected_graph(80, seed=5))
 
 
 class TestBfsTree:
@@ -46,10 +49,10 @@ class TestBfsTree:
         bfs = build_bfs_tree(net, root)
         assert bfs.root == root
 
-    def test_deterministic(self):
+    def test_deterministic(self, engine):
         g = random_connected_graph(50, seed=9)
-        bfs1 = build_bfs_tree(Network(g))
-        bfs2 = build_bfs_tree(Network(g))
+        bfs1 = build_bfs_tree(engine(g))
+        bfs2 = build_bfs_tree(engine(g))
         assert bfs1.parent == bfs2.parent
 
     def test_path_to_root(self, net):

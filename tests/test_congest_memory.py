@@ -1,5 +1,6 @@
 """Unit tests for per-vertex memory meters."""
 
+import networkx as nx
 import pytest
 
 from repro.congest.memory import MemoryMeter
@@ -203,3 +204,64 @@ class TestPrefixIndexTeardownCost:
         meter.free_prefix("t/")
         assert meter.last_prefix_scan == 1
         assert meter.current == 0
+
+
+class TestExactFreeResetsPin:
+    """Regression: an exact-key :meth:`MemoryMeter.free` resolves through
+    the item index without scanning any keys, so it resets
+    ``last_prefix_scan`` to 0.  Bulk exact-key teardowns (``free_key``
+    issued from a vectorized round close) used to leave the pin stale at
+    whatever an *earlier* ``free_prefix`` had scanned."""
+
+    def test_free_resets_stale_pin(self):
+        meter = MemoryMeter()
+        for i in range(7):
+            meter.store(f"t/key-{i}", 1)
+        meter.free_prefix("t/")
+        assert meter.last_prefix_scan == 7  # the stale value to clear
+        meter.store("relay/broadcast", 3)
+        meter.free("relay/broadcast")
+        assert meter.last_prefix_scan == 0
+        assert meter.current == 0
+
+    def test_free_of_absent_key_also_resets(self):
+        meter = MemoryMeter()
+        meter.store("t/a", 1)
+        meter.free_prefix("t/")
+        assert meter.last_prefix_scan == 1
+        meter.free("ghost")
+        assert meter.last_prefix_scan == 0
+
+    def test_free_prefix_pin_not_clobbered_by_its_own_frees(self):
+        meter = MemoryMeter()
+        meter.store("t/a", 1)
+        meter.store("t/b", 1)
+        meter.free_prefix("t/")
+        # The internal per-key frees must not reset the count the call
+        # just recorded.
+        assert meter.last_prefix_scan == 2
+
+
+class TestNetworkBulkFrees:
+    """Engine-parametrized: meter state after network-level bulk frees is
+    identical across reference, fastpath, and vectorized."""
+
+    def test_free_key_resets_prefix_pin_at_every_vertex(self, engine):
+        net = engine(nx.path_graph(4))
+        for v in net.nodes():
+            net.mem(v).store("tree/a", 2)
+        net.free_all("tree/")  # prefix teardown pins a scan count of 1
+        assert all(net.mem(v).last_prefix_scan == 1 for v in net.nodes())
+        net.store_all("relay/broadcast", 3)
+        net.free_key("relay/broadcast")  # bulk exact-key teardown
+        assert all(net.mem(v).last_prefix_scan == 0 for v in net.nodes())
+        assert all(net.mem(v).current == 0 for v in net.nodes())
+
+    def test_high_water_after_round_teardown(self, engine):
+        net = engine(nx.path_graph(3))
+        net.store_all("relay/buf", 4)
+        net.flood_all("flood")
+        net.deliver_batch()
+        net.free_key("relay/buf")
+        assert net.max_memory() == 4
+        assert all(net.mem(v).current == 0 for v in net.nodes())

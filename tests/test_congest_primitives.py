@@ -1,8 +1,12 @@
-"""Unit tests for the forest communication primitives."""
+"""Unit tests for the forest communication primitives.
+
+The ``setup`` fixture builds on the engine-parametrized ``engine`` fixture,
+so every test here runs against reference, fastpath, and vectorized.
+"""
 
 import pytest
 
-from repro.congest import Forest, Network, convergecast_up, flood_down
+from repro.congest import Forest, convergecast_up, flood_down
 from repro.errors import InputError
 from repro.graphs import (
     depths,
@@ -13,10 +17,10 @@ from repro.graphs import (
 
 
 @pytest.fixture()
-def setup():
+def setup(engine):
     graph = random_connected_graph(70, seed=3)
     tree = spanning_tree_of(graph, style="dfs", seed=3)
-    return Network(graph), tree, Forest.from_parent_map(tree)
+    return engine(graph), tree, Forest.from_parent_map(tree)
 
 
 class TestForest:
