@@ -13,8 +13,18 @@ rows land in ``BENCH_serve.json`` so the regression gate and the
 dashboard track serving performance commit over commit.  Path equality
 over the full query stream is asserted *before* any timing, so a
 throughput win can never mask a correctness regression.
+
+The S20 shard section measures aggregate QPS of the :class:`ShardPool`
+at 1/2/4/8 fork workers on the zipf and gravity workloads
+(``shard_qps_{1,2,4,8}`` columns).  Before any timing the 2-worker
+merged report is asserted field-identical to a single-process run on
+the same stream, so scaling can never mask a merge regression.  The
+>= 2.5x-at-4-workers gate is enforced only on hosts with >= 4 CPUs --
+on fewer cores the workers timeshare and the "scaling" measured is
+just context-switch overhead.
 """
 
+import os
 import time
 
 from _util import emit, once
@@ -23,7 +33,14 @@ from repro.errors import RoutingFailure
 from repro.graphs import random_connected_graph
 from repro.metrics import ServeMetrics
 from repro.routing.router import route_in_graph
-from repro.serve import ServeEngine, compile_scheme, run_serving
+from repro.serve import (
+    ServeEngine,
+    compile_scheme,
+    run_serving,
+    serve_pairs,
+)
+from repro.serve.workloads import make_workload
+from repro.shard import ShardPool
 from repro.tracing import Tracer
 from repro.tz import build_centralized_scheme
 
@@ -50,6 +67,19 @@ MAX_TRACE_OVERHEAD = 0.05
 PASSES = 8
 
 WORKLOADS = ("uniform", "zipf")
+
+#: S20 shard scaling: worker counts measured per workload.
+SHARD_WORKER_COUNTS = (1, 2, 4, 8)
+#: Gate: 4 fork workers over one shared table image must deliver at
+#: least this multiple of the 1-worker aggregate QPS (ISSUE acceptance).
+#: Only meaningful with >= 4 CPUs -- on fewer cores the workers
+#: timeshare a core and the ratio measures scheduler overhead, so the
+#: gate is skipped (the columns are still recorded for the dashboard).
+MIN_SHARD_SPEEDUP = 2.5
+#: Serve passes per worker count; best-of keeps the warm-cache
+#: steady-state comparable across counts (pass 1 is the cold outlier).
+SHARD_PASSES = 3
+SHARD_WORKLOADS = ("zipf", "gravity")
 
 
 def _one_pass(compiled, pairs, metrics=None, tracer=None):
@@ -108,6 +138,59 @@ def _reference_throughput(scheme, graph, pairs):
     return len(pairs) / (time.perf_counter() - started)
 
 
+def _shard_qps(compiled, graph, pairs, workload, workers):
+    """Best-of-``SHARD_PASSES`` aggregate QPS of a fork pool.
+
+    Aggregate QPS is the merged report's ``queries / max shard
+    serve_s`` -- the slowest shard bounds the tier, exactly as the
+    merge algebra defines it.  One pool per worker count: the sealed
+    image and the LRU caches persist across passes, so best-of compares
+    warm steady states.
+    """
+    best = 0.0
+    with ShardPool(compiled, graph, workers=workers, start="fork",
+                   metrics=False, seed=SEED) as pool:
+        for _ in range(SHARD_PASSES):
+            merged, _ = pool.serve(pairs, workload=workload, seed=SEED)
+            best = max(best, merged.throughput_qps)
+    return best
+
+
+def _shard_rows(compiled, graph):
+    """S20 scaling columns: ``shard_qps_{1,2,4,8}`` per workload.
+
+    Correctness first: the 2-worker merged report must be
+    field-identical to the single-process report on the same stream
+    before any worker count is timed.  The pre-check runs with a cache
+    big enough that nothing evicts -- N per-shard LRUs hold strictly
+    more than one LRU of the same size, so hit counters only match
+    exactly while capacity never binds (docs/sharding.md)."""
+    rows = []
+    cache_size = QUERIES * 2  # no evictions: exact hit-counter parity
+    for workload in SHARD_WORKLOADS:
+        pairs = make_workload(workload, graph, compiled.nodes,
+                              QUERIES, SEED)
+        engine = ServeEngine(compiled, cache_size=cache_size)
+        single, _ = serve_pairs(engine, graph, pairs,
+                                workload=workload, seed=SEED)
+        with ShardPool(compiled, graph, workers=2, start="fork",
+                       metrics=False, cache_size=cache_size,
+                       seed=SEED) as pool:
+            merged, _ = pool.serve(pairs, workload=workload, seed=SEED)
+        assert merged == single, (workload, merged, single)
+        assert merged.sketches["hops"] == single.sketches["hops"]
+
+        row = {"workload": workload, "kind": "shard",
+               "queries": len(pairs)}
+        for workers in SHARD_WORKER_COUNTS:
+            row[f"shard_qps_{workers}"] = round(
+                _shard_qps(compiled, graph, pairs, workload, workers))
+        row["speedup_4"] = round(
+            row["shard_qps_4"] / row["shard_qps_1"], 2)
+        rows.append(row)
+    return rows
+
+
 def _run():
     graph = random_connected_graph(N, seed=SEED)
     scheme = build_centralized_scheme(graph, K, seed=SEED)
@@ -154,11 +237,11 @@ def _run():
             "failures": report.failures,
             "slo_fraction": report.slo_fraction,
         })
-    return rows
+    return rows, _shard_rows(compiled, graph)
 
 
 def bench_serve(benchmark):
-    rows = once(benchmark, _run)
+    rows, shard_rows = once(benchmark, _run)
 
     header = (f"{'workload':<10} {'ref q/s':>10} {'engine q/s':>11} "
               f"{'speedup':>8} {'metrics q/s':>12} {'m-ovh':>7} "
@@ -173,11 +256,33 @@ def bench_serve(benchmark):
             f"{row['trace_qps']:>10} {row['trace_overhead']:>6.1%} "
             f"{row['cache_hit_rate']:>8.1%} {row['slo_fraction']:>7.2%}"
         )
-    emit("serve", "\n".join(lines), data=rows,
+    cpus = os.cpu_count() or 1
+    lines.append("")
+    lines.append(f"shard pool: aggregate q/s vs fork workers "
+                 f"({cpus} CPUs)")
+    lines.append(f"{'workload':<10} "
+                 + " ".join(f"{'w=' + str(w):>10}"
+                            for w in SHARD_WORKER_COUNTS)
+                 + f" {'x4':>7}")
+    for row in shard_rows:
+        lines.append(
+            f"{row['workload']:<10} "
+            + " ".join(f"{row[f'shard_qps_{w}']:>10}"
+                       for w in SHARD_WORKER_COUNTS)
+            + f" {row['speedup_4']:>6.2f}x"
+        )
+    emit("serve", "\n".join(lines), data=rows + shard_rows,
          meta={"n": N, "k": K, "seed": SEED, "queries": QUERIES,
                "min_speedup": MIN_SPEEDUP,
                "max_metrics_overhead": MAX_METRICS_OVERHEAD,
-               "max_trace_overhead": MAX_TRACE_OVERHEAD})
+               "max_trace_overhead": MAX_TRACE_OVERHEAD,
+               "min_shard_speedup": MIN_SHARD_SPEEDUP,
+               "shard_gate_cpus": cpus})
+
+    # The 4-worker scaling gate (only meaningful with real parallelism).
+    if cpus >= 4:
+        for row in shard_rows:
+            assert row["speedup_4"] >= MIN_SHARD_SPEEDUP, shard_rows
 
     by_workload = {row["workload"]: row for row in rows}
     # The serving gate (cache-friendly regime).

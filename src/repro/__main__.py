@@ -15,6 +15,7 @@ Telemetry surfaces (docs/observability.md):
     python -m repro fig stretch --profile  # span tree with round breakdown
     python -m repro report --fast --json   # both tables' RunRecords + figures
     python -m repro serve --trace-out traces.jsonl  # sampled query traces
+    python -m repro serve --workers 4      # sharded shared-memory serving
     python -m repro explain --worst 3      # per-level stretch attribution
 
 Every subcommand takes ``--quiet`` (suppress stdout) and ``--out <path>``
@@ -173,6 +174,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="source rule (default: first, the 4k-3 analysis)")
     serve.add_argument("--cache", type=int, default=4096, metavar="SIZE",
                        help="LRU decision-cache entries (0 disables)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="shard the stream over N worker processes "
+                            "(S20, docs/sharding.md); per-shard reports "
+                            "merge exactly into one")
+    serve.add_argument("--shm", dest="shm", action="store_true",
+                       default=True,
+                       help="share packed tables with workers via a "
+                            "sealed shared-memory image (default)")
+    serve.add_argument("--no-shm", dest="shm", action="store_false",
+                       help="fork-inherit the compiled tables instead "
+                            "of sealing a shared-memory image")
+    serve.add_argument("--cache-file", type=str, default=None,
+                       metavar="PATH",
+                       help="warm-cache persistence: preload the "
+                            "decision cache from PATH when it exists "
+                            "and save the (merged) cache back after "
+                            "the run")
     serve.add_argument("--zipf-alpha", type=float, default=1.1)
     serve.add_argument("--slo-target", type=float, default=0.99,
                        help="required fraction of queries within the "
@@ -270,7 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: src/repro)")
     lint.add_argument("--rules", type=str, default=None, metavar="IDS",
                       help="comma-separated rule ids (default: all of "
-                           "REP001-REP007)")
+                           "REP001-REP008)")
     lint.add_argument("--baseline", type=str, default=None, metavar="PATH",
                       help="baseline file of grandfathered findings "
                            "(default: lint-baseline.json at the repo "
@@ -462,7 +480,19 @@ def _built_scheme(args: argparse.Namespace):
 def _run_serve(args: argparse.Namespace) -> int:
     from .serve import run_serving, run_serving_recorded, slo_verdict
 
+    if args.workers < 1:
+        print(f"serve: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
     graph, scheme = _built_scheme(args)
+    if args.workers > 1:
+        if args.metrics_out or args.trace_out or args.trace_chrome:
+            print("serve: --workers > 1 is incompatible with "
+                  "--metrics-out/--trace-out/--trace-chrome (per-worker "
+                  "registries and tracers do not merge into one live "
+                  "snapshot; run those single-process)", file=sys.stderr)
+            return 2
+        return _run_serve_sharded(args, graph, scheme)
 
     metrics = None
     if args.metrics_out:
@@ -479,12 +509,25 @@ def _run_serve(args: argparse.Namespace) -> int:
         mode=args.mode, cache_size=args.cache, zipf_alpha=args.zipf_alpha,
         slo_target=args.slo_target, metrics=metrics, tracer=tracer,
     )
+    engine = None
+    if args.cache_file:
+        # Warm-cache persistence: serve with a preloaded engine, save
+        # the (possibly warmer) cache back after the run.
+        from .serve import DecisionCache, ServeEngine, compile_scheme
+        cache = (DecisionCache.load(args.cache_file, maxsize=args.cache)
+                 if Path(args.cache_file).exists()
+                 else DecisionCache(args.cache))
+        engine = ServeEngine(compile_scheme(scheme, graph),
+                             mode=args.mode, cache=cache)
+        kwargs["engine"] = engine
     recorded = args.json or args.strict or args.profile
     if recorded:
         report, record = run_serving_recorded(scheme, graph, **kwargs)
     else:
         report, _ = run_serving(scheme, graph, **kwargs)
         record = None
+    if engine is not None:
+        engine.cache.save(args.cache_file)
 
     parts = []
     if args.json:
@@ -517,6 +560,50 @@ def _run_serve(args: argparse.Namespace) -> int:
             )
             if not args.json:
                 parts.append(f"chrome trace written to {args.trace_chrome}")
+    _deliver("\n\n".join(parts), args)
+    if args.strict:
+        verdict = slo_verdict(report)
+        if verdict is not None and not verdict.passed:
+            print(f"stretch-SLO violation: {verdict.name} "
+                  f"measured={verdict.measured} < target={verdict.limit}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+def _run_serve_sharded(args: argparse.Namespace, graph, scheme) -> int:
+    """The ``repro serve --workers N`` path (S20, docs/sharding.md)."""
+    from .serve import DecisionCache, slo_verdict
+    from .shard import run_sharded, run_sharded_recorded
+
+    cache_entries = None
+    if args.cache_file and Path(args.cache_file).exists():
+        cache_entries = DecisionCache.load(
+            args.cache_file, maxsize=args.cache).entries()
+    cache_out: list = []
+    kwargs = dict(
+        workers=args.workers, workload=args.workload,
+        queries=args.queries, seed=args.seed, mode=args.mode,
+        cache_size=args.cache, zipf_alpha=args.zipf_alpha,
+        slo_target=args.slo_target, shm=args.shm,
+        cache_entries=cache_entries,
+        cache_out=cache_out if args.cache_file else None,
+    )
+    recorded = args.json or args.strict or args.profile
+    if recorded:
+        report, record = run_sharded_recorded(scheme, graph, **kwargs)
+    else:
+        report, _ = run_sharded(scheme, graph, **kwargs)
+        record = None
+    if args.cache_file:
+        merged_cache = DecisionCache(args.cache)
+        merged_cache.preload(cache_out)
+        merged_cache.save(args.cache_file)
+
+    parts = [record.to_json() if args.json else report.render()]
+    if args.profile and record is not None:
+        parts.append(render_profile(record.spans, record.counters,
+                                    record.gauges))
     _deliver("\n\n".join(parts), args)
     if args.strict:
         verdict = slo_verdict(report)

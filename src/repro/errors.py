@@ -43,6 +43,14 @@ class InputError(ReproError):
     """Invalid user-supplied input (bad parameters, malformed graphs)."""
 
 
+class ShardError(ReproError):
+    """A shard worker failed or the pool protocol broke down.
+
+    Carries the worker-side traceback (when one was reported) so pool
+    users see the real failure, not just a dead pipe.
+    """
+
+
 class RoutingFailure(ReproError):
     """The routing phase failed to deliver a message.
 

@@ -10,6 +10,8 @@ REP003   unaccounted sends: message widths derive from ``words_of``
 REP004   memory-meter bypass: vertex state growth is metered
 REP005   hot-path hygiene: loop-instantiated classes carry __slots__
 REP006   hot-path metric labels: intern once, no per-query dicts
+REP007   sampler-guarded trace capture: sample first, allocate after
+REP008   packed tables cross processes via the shm manifest, not pickle
 =======  ==========================================================
 
 Entry points: ``repro lint`` on the command line (findings land in the
@@ -26,7 +28,9 @@ from .rules import (
     HotLabelAllocation,
     HotPathHygiene,
     MemoryMeterBypass,
+    PackedTablePickle,
     UnaccountedSends,
+    UnguardedTraceCapture,
     UnseededRandomness,
 )
 from .runner import (
@@ -54,11 +58,13 @@ __all__ = [
     "LintReport",
     "MemoryMeterBypass",
     "ModuleInfo",
+    "PackedTablePickle",
     "REPO_ROOT",
     "Rule",
     "ScopedVisitor",
     "UNJUSTIFIED",
     "UnaccountedSends",
+    "UnguardedTraceCapture",
     "UnseededRandomness",
     "iter_python_files",
     "parse_module",

@@ -1,4 +1,4 @@
-"""The domain-specific checkers REP001-REP007.
+"""The domain-specific checkers REP001-REP008.
 
 Each rule guards one invariant the paper's measured guarantees rest on; the
 rule catalogue (docs/static-analysis.md) states the invariant, what the
@@ -756,6 +756,129 @@ class _TraceVisitor(ScopedVisitor):
 
 
 # ---------------------------------------------------------------------------
+# REP008 — packed tables never pickle across processes
+# ---------------------------------------------------------------------------
+
+#: Path segments in scope for REP008 (the serving + sharding tiers).
+_SHARD_SEGMENTS = ("serve", "shard")
+
+#: Identifier fragments that mark a value as a packed routing table.
+_PACKED_FRAGMENTS = ("compiled", "packed", "sealed")
+
+#: Exact class names of the packed-table types (any casing aside).
+_PACKED_CLASSES = {
+    "CompiledScheme", "CompiledGraphScheme", "CompiledTreeScheme",
+    "PackedTree", "PackedLabel", "PackedEntry",
+    "SealedTables", "AttachedTables", "LoweredTables",
+}
+
+#: Pickle-flavoured serializer modules (json is fine: manifests are JSON).
+_PICKLE_MODULES = {"pickle", "cPickle", "dill", "cloudpickle", "marshal"}
+
+#: Cross-process transport methods (pipe / queue sends).
+_SEND_METHODS = {"send", "put", "put_nowait", "send_bytes"}
+
+
+def _mentions_packed(node: ast.AST) -> bool:
+    """Does an expression reference a packed-table value by name?"""
+    for sub in ast.walk(node):
+        label = None
+        if isinstance(sub, ast.Attribute):
+            label = sub.attr
+        elif isinstance(sub, ast.Name):
+            label = sub.id
+        if label is None:
+            continue
+        if label in _PACKED_CLASSES:
+            return True
+        lowered = label.lower()
+        if any(frag in lowered for frag in _PACKED_FRAGMENTS):
+            return True
+    return False
+
+
+def _call_payload(node: ast.Call) -> List[ast.AST]:
+    return [*node.args, *(kw.value for kw in node.keywords)]
+
+
+class PackedTablePickle(Rule):
+    """Packed routing tables must never pickle across a process boundary.
+
+    Scope: the ``repro.serve`` and ``repro.shard`` packages.  Workers
+    attach the sealed shared-memory image via its JSON manifest
+    (:func:`repro.shard.tables.from_buffers`); a pickled
+    ``CompiledGraphScheme`` on a pipe re-materializes the whole table set
+    per worker — exactly the copy cost and memory blow-up the shm image
+    exists to avoid.  Flags, when the expression mentions a packed-table
+    value (a ``Compiled*``/``Packed*``/``*Tables`` class name or an
+    identifier containing ``compiled``/``packed``/``sealed``):
+
+    * pickle-module serialization (``pickle.dumps(compiled)``,
+      ``dill.dump(packed, fh)``, ...);
+    * cross-process transports: ``conn.send(...)`` / ``queue.put(...)``
+      payloads and ``Process(...)`` constructor arguments (spawn
+      contexts pickle both).
+
+    ``json.dumps(manifest)`` and sending measurement payloads
+    (reports, result tuples) are out of scope on purpose — manifests
+    and measurements are *meant* to cross.  Fork-inherited arguments
+    are flagged too (the AST cannot see the start method): justify the
+    intentional case with a pragma.
+    """
+
+    id = "REP008"
+    title = "packed tables must cross processes via the shm manifest"
+    invariant = ("The sharded serving tier's near-zero fork cost and "
+                 "single-copy memory budget assume workers attach one "
+                 "shared table image by name; a pickled packed table on "
+                 "the pipe duplicates the entire routing state per "
+                 "worker.")
+
+    def check_module(self, mod: ModuleInfo) -> List[Finding]:
+        if not any(seg in mod.relpath.split("/")
+                   for seg in _SHARD_SEGMENTS):
+            return []
+        visitor = _PickleVisitor(self, mod)
+        visitor.visit(mod.tree)
+        return visitor.findings
+
+
+class _PickleVisitor(ScopedVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in ("dumps", "dump"):
+                root = attr_root(func)
+                if (isinstance(root, ast.Name)
+                        and root.id in _PICKLE_MODULES
+                        and any(_mentions_packed(a)
+                                for a in _call_payload(node))):
+                    self.emit(node, f"{root.id}.{func.attr}(...) of a "
+                                    "packed table: serialize the shm "
+                                    "manifest (JSON) instead and attach "
+                                    "with from_buffers()")
+            elif (func.attr in _SEND_METHODS
+                    and any(_mentions_packed(a)
+                            for a in _call_payload(node))):
+                self.emit(node, f".{func.attr}(...) with a packed table "
+                                "in the payload: pipes and queues "
+                                "pickle their messages — send the shm "
+                                "manifest and attach worker-side")
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if (name == "Process"
+                and any(_mentions_packed(a) for a in _call_payload(node))):
+            self.emit(node, "Process(...) argument mentions a packed "
+                            "table: spawn contexts pickle process "
+                            "arguments — pass the shm manifest, or "
+                            "pragma a fork-only inheritance")
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -767,6 +890,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     HotPathHygiene,
     HotLabelAllocation,
     UnguardedTraceCapture,
+    PackedTablePickle,
 )
 
 RULES_BY_ID: Dict[str, Type[Rule]] = {r.id: r for r in ALL_RULES}

@@ -22,6 +22,8 @@ from .compile import (
     PackedTree,
     compile_from_json,
     compile_scheme,
+    from_buffers,
+    seal_to_buffers,
 )
 from .engine import DecisionCache, ServeEngine, ServeResult
 from .harness import (
@@ -30,6 +32,7 @@ from .harness import (
     percentile,
     run_serving,
     run_serving_recorded,
+    serve_pairs,
     slo_verdict,
 )
 from .workloads import (
@@ -56,11 +59,14 @@ __all__ = [
     "adversarial_pairs",
     "compile_from_json",
     "compile_scheme",
+    "from_buffers",
     "gravity_pairs",
     "make_workload",
     "percentile",
     "run_serving",
     "run_serving_recorded",
+    "seal_to_buffers",
+    "serve_pairs",
     "slo_verdict",
     "uniform_pairs",
     "zipf_pairs",

@@ -264,20 +264,7 @@ class CompiledGraphScheme:
         #: probe per candidate with zero dataclass attribute loads -- the
         #: decision scan runs on every cache miss, and attribute chasing on
         #: :class:`PackedEntry` was a measurable share of it.
-        self.decisions: Dict[
-            NodeId,
-            Tuple[Tuple[Dict[NodeId, int], Tuple[PackedTree, PackedLabel],
-                        List[float], int, float], ...],
-        ] = {
-            v: tuple(
-                (self.trees[e.tree_index].local,
-                 (self.trees[e.tree_index], e.label),
-                 self.trees[e.tree_index].root_distance,
-                 e.level, e.dist_to_root)
-                for e in packed_entries
-            )
-            for v, packed_entries in self.entries.items()
-        }
+        self.decisions = _decision_table(self.trees, self.entries)
 
         # -- provenance side-table (S19 tracing) ----------------------------
         #: ``provenance[target][i]`` describes ``decisions[target][i]``:
@@ -286,26 +273,8 @@ class CompiledGraphScheme:
         #: candidate index alone.  ``bunch_levels[target]`` is the set of
         #: hierarchy levels present in the target's usable label — its bunch
         #: membership as the serving layer sees it.
-        roots = [_tree_root(t) for t in self.trees]
-        self.provenance: Dict[NodeId, Tuple[DecisionProvenance, ...]] = {
-            v: tuple(
-                DecisionProvenance(
-                    level=e.level,
-                    tree_id=self.trees[e.tree_index].tree_id,
-                    tree_index=e.tree_index,
-                    root=roots[e.tree_index],
-                    dist_to_root=e.dist_to_root,
-                    tree_size=self.trees[e.tree_index].size,
-                    label_words=e.label.words,
-                )
-                for e in packed_entries
-            )
-            for v, packed_entries in self.entries.items()
-        }
-        self.bunch_levels: Dict[NodeId, Tuple[int, ...]] = {
-            v: tuple(e.level for e in packed_entries)
-            for v, packed_entries in self.entries.items()
-        }
+        self.provenance = _provenance_table(self.trees, self.entries)
+        self.bunch_levels = _bunch_levels(self.entries)
 
     def table_words(self) -> int:
         """Words across all packed per-tree rows (5 words per membership)."""
@@ -348,9 +317,89 @@ def compile_from_json(
     return compile_scheme(scheme, graph)
 
 
+def seal_to_buffers(compiled: CompiledScheme, *, backend=None):
+    """Lower a compiled scheme into one shared-memory table image (S20).
+
+    Thin entry point over :func:`repro.shard.tables.seal_to_buffers`
+    (imported lazily: the shard subsystem depends on this module).  Returns
+    a :class:`~repro.shard.tables.SealedTables` whose JSON-able manifest is
+    all a :class:`~repro.shard.ShardPool` worker needs to attach the same
+    image zero-copy via :func:`from_buffers`.
+    """
+    from ..shard.tables import seal_to_buffers as _seal
+
+    return _seal(compiled, backend=backend)
+
+
+def from_buffers(manifest, buffer=None):
+    """Rebuild a compiled scheme from a table-image manifest (S20).
+
+    Counterpart of :func:`seal_to_buffers`; see
+    :func:`repro.shard.tables.from_buffers`.
+    """
+    from ..shard.tables import from_buffers as _from
+
+    return _from(manifest, buffer)
+
+
 # ---------------------------------------------------------------------------
 # Packing helpers
 # ---------------------------------------------------------------------------
+
+def _decision_table(
+    trees: List[PackedTree],
+    entries: Dict[NodeId, Tuple[PackedEntry, ...]],
+) -> Dict[NodeId, Tuple[Tuple[Dict[NodeId, int],
+                              Tuple[PackedTree, PackedLabel],
+                              List[float], int, float], ...]]:
+    """Resolve packed entries into the engine's bare candidate tuples.
+
+    Shared between compilation and shared-memory reconstruction
+    (:mod:`repro.shard.tables`), so the two code paths cannot drift.
+    """
+    return {
+        v: tuple(
+            (trees[e.tree_index].local,
+             (trees[e.tree_index], e.label),
+             trees[e.tree_index].root_distance,
+             e.level, e.dist_to_root)
+            for e in packed_entries
+        )
+        for v, packed_entries in entries.items()
+    }
+
+
+def _provenance_table(
+    trees: List[PackedTree],
+    entries: Dict[NodeId, Tuple[PackedEntry, ...]],
+) -> Dict[NodeId, Tuple[DecisionProvenance, ...]]:
+    """Candidate-order-aligned provenance rows (see ``provenance`` above)."""
+    roots = [_tree_root(t) for t in trees]
+    return {
+        v: tuple(
+            DecisionProvenance(
+                level=e.level,
+                tree_id=trees[e.tree_index].tree_id,
+                tree_index=e.tree_index,
+                root=roots[e.tree_index],
+                dist_to_root=e.dist_to_root,
+                tree_size=trees[e.tree_index].size,
+                label_words=e.label.words,
+            )
+            for e in packed_entries
+        )
+        for v, packed_entries in entries.items()
+    }
+
+
+def _bunch_levels(
+    entries: Dict[NodeId, Tuple[PackedEntry, ...]],
+) -> Dict[NodeId, Tuple[int, ...]]:
+    return {
+        v: tuple(e.level for e in packed_entries)
+        for v, packed_entries in entries.items()
+    }
+
 
 def _adjacency(
     graph: Optional[nx.Graph],

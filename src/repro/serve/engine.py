@@ -35,10 +35,14 @@ collapsing them would silently change failure paths and budget accounting.
 
 from __future__ import annotations
 
+import json
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable, Iterable, List, Optional, Tuple
 
 from ..errors import RoutingFailure
+
+#: On-disk format version of :meth:`DecisionCache.save`.
+CACHE_FORMAT = 1
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..metrics.serve import ServeMetrics
@@ -154,6 +158,66 @@ class DecisionCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    # -- persistence (S20 warm restarts) -------------------------------------
+
+    def entries(self) -> List[Tuple[tuple, tuple]]:
+        """Cached decisions oldest-first (the LRU order save/load keeps)."""
+        return [(key, value) for key, value in self._data.items()]
+
+    def preload(self, entries: Iterable[Tuple[tuple, tuple]]) -> None:
+        """Insert decisions (oldest-first) without touching hit counters."""
+        for key, (path, length) in entries:
+            self.put(tuple(key), (tuple(path), length))
+
+    def save(self, path: str) -> None:
+        """Persist the cache as versioned JSON (id-codec encoded).
+
+        Node ids round-trip through the serialization codec
+        (:func:`~repro.routing.serialization.encode_id`), so int / str /
+        tuple ids all survive; entries are written oldest-first so
+        ``load`` rebuilds the identical LRU eviction order.  Hit/miss
+        counters are run-scoped and deliberately not persisted.
+        """
+        from ..routing.serialization import encode_id
+
+        blob = {
+            "format": CACHE_FORMAT,
+            "maxsize": self.maxsize,
+            "entries": [
+                [encode_id(key[0]), encode_id(key[1]),
+                 [encode_id(v) for v in value[0]], value[1]]
+                for key, value in self._data.items()
+            ],
+        }
+        with open(path, "w") as fp:
+            json.dump(blob, fp)
+
+    @classmethod
+    def load(cls, path: str,
+             maxsize: Optional[int] = None) -> "DecisionCache":
+        """Rebuild a saved cache (``maxsize`` overrides the saved bound).
+
+        A restarted server that serves through the loaded cache starts at
+        the original run's warm hit rate instead of paying the cold-start
+        window again (tested in ``tests/test_serve_harness.py``).
+        """
+        from ..errors import InputError
+        from ..routing.serialization import decode_id
+
+        with open(path) as fp:
+            blob = json.load(fp)
+        if blob.get("format") != CACHE_FORMAT:
+            raise InputError(
+                f"decision-cache format {blob.get('format')!r} != "
+                f"{CACHE_FORMAT} (re-save with this version)")
+        cache = cls(maxsize if maxsize is not None else blob["maxsize"])
+        cache.preload(
+            ((decode_id(src), decode_id(tgt)),
+             (tuple(decode_id(v) for v in path), length))
+            for src, tgt, path, length in blob["entries"]
+        )
+        return cache
+
 
 class ServeEngine:
     """Serve ``route(source, target)`` queries from a compiled scheme.
@@ -182,6 +246,7 @@ class ServeEngine:
         *,
         mode: str = "first",
         cache_size: int = 4096,
+        cache: Optional[DecisionCache] = None,
         max_hops: Optional[int] = None,
         metrics: Optional["ServeMetrics"] = None,
         tracer: Optional["Tracer"] = None,
@@ -190,7 +255,9 @@ class ServeEngine:
             raise ValueError(f"unknown mode {mode!r}")
         self.compiled = compiled
         self.mode = mode
-        self.cache = DecisionCache(cache_size)
+        #: ``cache`` (e.g. a :meth:`DecisionCache.load`-ed warm cache)
+        #: takes precedence over ``cache_size``.
+        self.cache = cache if cache is not None else DecisionCache(cache_size)
         self.max_hops = max_hops
         self.metrics = metrics
         self.tracer = tracer

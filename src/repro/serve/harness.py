@@ -15,6 +15,7 @@ the :class:`~repro.telemetry.RunRecord` behind ``repro serve --json``.
 
 from __future__ import annotations
 
+import json
 import math
 import time
 from dataclasses import dataclass, field
@@ -78,21 +79,35 @@ class ServeReport:
     seed: int
     mode: str
     cache_size: int
-    compile_s: float
-    serve_s: float
-    throughput_qps: float
+    #: wall-clock columns are measurements of *this machine at this
+    #: moment*, not of routing behavior — excluded from equality so two
+    #: reports compare on what they computed, which is also what makes
+    #: the merged N-shard report field-identical to the 1-process one.
+    compile_s: float = field(compare=False)
+    serve_s: float = field(compare=False)
+    throughput_qps: float = field(compare=False)
     hops_p50: float
     hops_p90: float
     hops_p99: float
     hops_max: float
-    latency_us_p50: float
-    latency_us_p90: float
-    latency_us_p99: float
+    latency_us_p50: float = field(compare=False)
+    latency_us_p90: float = field(compare=False)
+    latency_us_p99: float = field(compare=False)
     cache_hit_rate: float
     failures: int
     slo_bound: Optional[float] = None
     slo_fraction: Optional[float] = None
     slo_target: Optional[float] = None
+    #: raw LRU counters behind ``cache_hit_rate`` — summable across
+    #: shards where the rounded rate is not (S20 merge).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: raw count behind ``slo_fraction`` (queries within the bound),
+    #: summable across shards.
+    slo_within: Optional[int] = None
+    #: shard count for merged reports (None for single-process runs);
+    #: excluded from equality so merged == single-process holds.
+    shards: Optional[int] = field(default=None, compare=False)
     packed: Dict[str, Any] = field(default_factory=dict)
     #: per-distribution quantile sketches ("hops", "latency_us", and
     #: "stretch" when the SLO ran) -- the source of the report's
@@ -107,6 +122,13 @@ class ServeReport:
     #: :class:`~repro.tracing.Tracer`); excluded from ``to_row()`` and
     #: report equality so tracing cannot perturb differential checks.
     traces: List["QueryTrace"] = field(
+        default_factory=list, repr=False, compare=False)
+    #: worst-stretch exemplars (``Histogram.exemplars()`` payloads,
+    #: worst-first) when a metrics bundle fed the stretch histogram;
+    #: compared through :func:`ServeReport.merge`'s deterministic
+    #: re-heapify, not dataclass equality (heap tie-order is
+    #: arrival-dependent at the reservoir boundary).
+    exemplars: List[Dict[str, Any]] = field(
         default_factory=list, repr=False, compare=False)
 
     @property
@@ -155,6 +177,8 @@ class ServeReport:
             row["slo_fraction"] = round(self.slo_fraction, 4)
             row["slo_target"] = self.slo_target
             row["slo_ok"] = self.slo_ok
+        if self.shards is not None:
+            row["shards"] = self.shards
         row.update(self.packed)
         return row
 
@@ -179,7 +203,139 @@ class ServeReport:
                 f"{self.slo_bound:.3g}x (target {self.slo_target:.0%}): "
                 f"{status}"
             )
+        if self.shards is not None:
+            lines.insert(1, f"shards        {self.shards} workers "
+                            "(merged report)")
         return "\n".join(lines)
+
+    @classmethod
+    def merge(cls, reports: Sequence["ServeReport"],
+              *, exemplar_limit: Optional[int] = None) -> "ServeReport":
+        """Merge per-shard reports into the exact whole-stream report.
+
+        Every field is combined by its own algebra so the merged N-shard
+        report **equals** the 1-process report on the same stream:
+
+        * counters (``queries``/``failures``/``cache_hits``/
+          ``cache_misses``/``slo_within``) sum;
+        * percentile columns recompute from the bucket-exact
+          :meth:`QuantileSketch.merge` of the shard sketches (hop
+          sketches of shards with zero delivered queries are skipped —
+          their single ``0`` is the empty-run sentinel, which the merged
+          sketch re-adds only if *no* shard delivered);
+        * ``cache_hit_rate`` / ``slo_fraction`` recompute from the summed
+          raw counters (rounding first would not be order-insensitive);
+        * exemplar reservoirs re-heapify deterministically: worst value
+          first, payload JSON as the tie-break, truncated to
+          ``exemplar_limit`` (default: the widest shard reservoir);
+        * wall-clock fields take the slowest shard (``serve_s`` /
+          ``compile_s`` = max) and throughput recomputes as total
+          queries over that span — the aggregate-QPS definition the
+          shard bench gates on.
+
+        ``serve_s``-derived and latency fields are *report-level* merges;
+        they are excluded from dataclass equality already.  Raises
+        :class:`~repro.errors.InputError` on an empty list or when shards
+        disagree on stream identity (workload/seed/mode/cache/SLO).
+        """
+        from ..errors import InputError
+
+        reports = list(reports)
+        if not reports:
+            raise InputError("cannot merge an empty list of shard reports")
+        first = reports[0]
+        for r in reports[1:]:
+            for attr in ("workload", "seed", "mode", "cache_size",
+                         "slo_bound", "slo_target"):
+                if getattr(r, attr) != getattr(first, attr):
+                    raise InputError(
+                        f"shard reports disagree on {attr}: "
+                        f"{getattr(first, attr)!r} != {getattr(r, attr)!r}")
+
+        queries = sum(r.queries for r in reports)
+        failures = sum(r.failures for r in reports)
+        cache_hits = sum(r.cache_hits for r in reports)
+        cache_misses = sum(r.cache_misses for r in reports)
+        lookups = cache_hits + cache_misses
+
+        hops = QuantileSketch(SKETCH_ACCURACY)
+        lat = QuantileSketch(SKETCH_ACCURACY)
+        for r in reports:
+            if "latency_us" in r.sketches:
+                lat.merge(r.sketches["latency_us"])
+            if "hops" in r.sketches and r.queries - r.failures > 0:
+                hops.merge(r.sketches["hops"])
+        if hops.count == 0:
+            hops.add(0)
+        sketches = {"hops": hops, "latency_us": lat}
+
+        stretch: Optional[QuantileSketch] = None
+        if any("stretch" in r.sketches for r in reports):
+            stretch = QuantileSketch(SKETCH_ACCURACY)
+            for r in reports:
+                if "stretch" in r.sketches:
+                    stretch.merge(r.sketches["stretch"])
+            sketches["stretch"] = stretch
+
+        slo_within: Optional[int] = None
+        slo_fraction: Optional[float] = None
+        if any(r.slo_fraction is not None for r in reports):
+            slo_within = sum(r.slo_within or 0 for r in reports)
+            slo_fraction = slo_within / queries if queries else 1.0
+
+        combined = [dict(x) for r in reports for x in r.exemplars]
+        combined.sort(key=_exemplar_order)
+        if exemplar_limit is None:
+            exemplar_limit = max(
+                (len(r.exemplars) for r in reports), default=0)
+        exemplars = combined[:exemplar_limit]
+
+        serve_s = max(r.serve_s for r in reports)
+        compile_s = max(r.compile_s for r in reports)
+        return cls(
+            workload=first.workload,
+            queries=queries,
+            seed=first.seed,
+            mode=first.mode,
+            cache_size=first.cache_size,
+            compile_s=compile_s,
+            serve_s=serve_s,
+            throughput_qps=queries / serve_s if serve_s > 0 else 0.0,
+            hops_p50=float(round(hops.quantile(0.5))),
+            hops_p90=float(round(hops.quantile(0.9))),
+            hops_p99=float(round(hops.quantile(0.99))),
+            hops_max=float(hops.max_value or 0.0),
+            latency_us_p50=lat.quantile(0.5),
+            latency_us_p90=lat.quantile(0.9),
+            latency_us_p99=lat.quantile(0.99),
+            cache_hit_rate=(round(cache_hits / lookups, 4)
+                            if lookups else 0.0),
+            failures=failures,
+            slo_bound=first.slo_bound,
+            slo_fraction=slo_fraction,
+            slo_target=first.slo_target if slo_fraction is not None
+            else None,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            slo_within=slo_within,
+            shards=len(reports),
+            packed=next((dict(r.packed) for r in reports if r.packed), {}),
+            sketches=sketches,
+            metrics={},
+            traces=[t for r in reports for t in r.traces],
+            exemplars=exemplars,
+        )
+
+
+def _exemplar_order(x: Dict[str, Any]) -> Tuple[float, str]:
+    """Deterministic worst-first exemplar ordering (value, then payload).
+
+    The JSON tie-break makes the merged reservoir independent of shard
+    ordering even when two exemplars share a stretch value exactly.
+    """
+    value = float(x.get("value", 0.0))
+    rest = {k: v for k, v in x.items() if k != "value"}
+    return (-value, json.dumps(rest, sort_keys=True, default=repr))
 
 
 def slo_verdict(report: ServeReport) -> Optional[BoundVerdict]:
@@ -237,15 +393,7 @@ def run_serving(
         else:
             compiled = engine.compiled
             mode = engine.mode
-            cache_size = engine.cache.maxsize
-            if metrics is not None and engine.metrics is None:
-                engine.metrics = metrics
-            if tracer is not None and engine.tracer is None:
-                engine.tracer = tracer
         compile_s = time.perf_counter() - started
-        # Results[i] gets trace ordinal trace_base + i (a pre-warmed
-        # engine may already have consumed ordinals).
-        trace_base = tracer.seq if tracer is not None else 0
 
         with _tele.span("serve/workload", workload=workload):
             pairs = make_workload(
@@ -253,94 +401,148 @@ def run_serving(
                 zipf_alpha=zipf_alpha,
                 route_length=_route_length_probe(compiled, graph, mode),
             )
-
-        perf_counter = time.perf_counter
-        route_recorded = engine.route_recorded
-        lat_sketch = QuantileSketch(SKETCH_ACCURACY)
-        lat_add = lat_sketch.add
-        observe = metrics.observe_query if metrics is not None else None
-        results: List[ServeResult] = []
-        with _tele.span("serve/queries", count=len(pairs)):
-            serve_started = perf_counter()
-            for u, v in pairs:
-                q0 = perf_counter()
-                results.append(route_recorded(u, v))
-                q1 = perf_counter()
-                lat_add((q1 - q0) * 1e6)
-                if observe is not None:
-                    observe((q1 - q0) * 1e6, q1 - serve_started)
-            serve_s = perf_counter() - serve_started
-        _tele.emit("serve.queries", len(results))
-        _tele.emit("serve.failures", engine.failures)
-
-        if slo_bound is None and isinstance(compiled, CompiledGraphScheme):
-            slo_bound = 4.0 * compiled.k - 3.0
-        slo_fraction = None
-        stretches: Optional[List[Optional[float]]] = None
-        stretch_sketch: Optional[QuantileSketch] = None
-        if slo_bound is not None:
-            with _tele.span("serve/slo", bound=slo_bound):
-                stretches = _per_query_stretch(graph, results)
-            within = sum(1 for s in stretches
-                         if s is not None and s <= slo_bound + 1e-9)
-            slo_fraction = within / len(results) if results else 1.0
-            stretch_sketch = QuantileSketch(SKETCH_ACCURACY)
-            for s in stretches:
-                if s is not None:
-                    stretch_sketch.add(s)
-            if metrics is not None:
-                _feed_stretch_metrics(metrics, results, stretches,
-                                      slo_bound, serve_s,
-                                      tracer=tracer, base=trace_base)
-
-        traces: List["QueryTrace"] = []
-        if tracer is not None:
-            with _tele.span("serve/traces", head=len(tracer.head)):
-                traces = tracer.finalize(engine, results, stretches,
-                                         graph=graph, base=trace_base)
-            _tele.emit("serve.traces", len(traces))
-
-        hops_sketch = QuantileSketch(SKETCH_ACCURACY)
-        for r in results:
-            if r.ok:
-                hops_sketch.add(r.hops)
-        if hops_sketch.count == 0:
-            hops_sketch.add(0)
-        sketches = {"hops": hops_sketch, "latency_us": lat_sketch}
-        if stretch_sketch is not None:
-            sketches["stretch"] = stretch_sketch
-        stats = engine.stats()
-        report = ServeReport(
-            workload=workload,
-            queries=len(results),
-            seed=seed,
-            mode=mode,
-            cache_size=cache_size,
-            compile_s=compile_s,
-            serve_s=serve_s,
-            throughput_qps=len(results) / serve_s if serve_s > 0 else 0.0,
-            # Hop percentiles stay exact integers (alpha * hops < 0.5).
-            hops_p50=float(round(hops_sketch.quantile(0.5))),
-            hops_p90=float(round(hops_sketch.quantile(0.9))),
-            hops_p99=float(round(hops_sketch.quantile(0.99))),
-            hops_max=float(hops_sketch.max_value or 0.0),
-            latency_us_p50=lat_sketch.quantile(0.5),
-            latency_us_p90=lat_sketch.quantile(0.9),
-            latency_us_p99=lat_sketch.quantile(0.99),
-            cache_hit_rate=stats["cache_hit_rate"],
-            failures=engine.failures,
-            slo_bound=slo_bound,
-            slo_fraction=slo_fraction,
-            slo_target=slo_target if slo_fraction is not None else None,
-            packed=_jsonable_summary(compiled),
-            sketches=sketches,
-            metrics=(metrics.snapshot(now=serve_s)
-                     if metrics is not None else {}),
-            traces=traces,
+        return serve_pairs(
+            engine, graph, pairs,
+            workload=workload, seed=seed, compile_s=compile_s,
+            slo_bound=slo_bound, slo_target=slo_target,
+            metrics=metrics, tracer=tracer,
         )
-        if slo_fraction is not None:
-            _tele.gauge("serve.slo_fraction", slo_fraction)
-        return report, results
+
+
+def serve_pairs(
+    engine: ServeEngine,
+    graph: nx.Graph,
+    pairs: Sequence[Tuple[NodeId, NodeId]],
+    *,
+    workload: str = "pairs",
+    seed: int = 0,
+    compile_s: float = 0.0,
+    slo: bool = True,
+    slo_bound: Optional[float] = None,
+    slo_target: float = 0.99,
+    metrics: Optional[ServeMetrics] = None,
+    tracer: Optional["Tracer"] = None,
+) -> Tuple[ServeReport, List[ServeResult]]:
+    """Serve an explicit pair stream through ``engine`` and report.
+
+    The measurement core of :func:`run_serving`, split out so shard
+    workers (:mod:`repro.shard.worker`) run the *identical* code path on
+    their partition of the stream — same timing structure, same sketch
+    accuracy, same SLO algebra — which is what makes the merged N-shard
+    report equal to the 1-process one.  ``slo=False`` skips stretch
+    scoring entirely (the scaling bench measures raw throughput);
+    otherwise ``slo_bound`` defaults to the paper's ``4k-3`` for graph
+    schemes exactly like :func:`run_serving`.
+    """
+    compiled = engine.compiled
+    mode = engine.mode
+    cache_size = engine.cache.maxsize
+    if metrics is not None and engine.metrics is None:
+        engine.metrics = metrics
+    elif metrics is None:
+        metrics = engine.metrics
+    if tracer is not None and engine.tracer is None:
+        engine.tracer = tracer
+    elif tracer is None:
+        tracer = engine.tracer
+    # Results[i] gets trace ordinal trace_base + i (a pre-warmed
+    # engine may already have consumed ordinals).
+    trace_base = tracer.seq if tracer is not None else 0
+
+    perf_counter = time.perf_counter
+    route_recorded = engine.route_recorded
+    lat_sketch = QuantileSketch(SKETCH_ACCURACY)
+    lat_add = lat_sketch.add
+    observe = metrics.observe_query if metrics is not None else None
+    results: List[ServeResult] = []
+    with _tele.span("serve/queries", count=len(pairs)):
+        serve_started = perf_counter()
+        for u, v in pairs:
+            q0 = perf_counter()
+            results.append(route_recorded(u, v))
+            q1 = perf_counter()
+            lat_add((q1 - q0) * 1e6)
+            if observe is not None:
+                observe((q1 - q0) * 1e6, q1 - serve_started)
+        serve_s = perf_counter() - serve_started
+    _tele.emit("serve.queries", len(results))
+    _tele.emit("serve.failures", engine.failures)
+
+    if (slo and slo_bound is None
+            and isinstance(compiled, CompiledGraphScheme)):
+        slo_bound = 4.0 * compiled.k - 3.0
+    slo_fraction = None
+    slo_within: Optional[int] = None
+    stretches: Optional[List[Optional[float]]] = None
+    stretch_sketch: Optional[QuantileSketch] = None
+    if slo and slo_bound is not None:
+        with _tele.span("serve/slo", bound=slo_bound):
+            stretches = _per_query_stretch(graph, results)
+        slo_within = sum(1 for s in stretches
+                         if s is not None and s <= slo_bound + 1e-9)
+        slo_fraction = slo_within / len(results) if results else 1.0
+        stretch_sketch = QuantileSketch(SKETCH_ACCURACY)
+        for s in stretches:
+            if s is not None:
+                stretch_sketch.add(s)
+        if metrics is not None:
+            _feed_stretch_metrics(metrics, results, stretches,
+                                  slo_bound, serve_s,
+                                  tracer=tracer, base=trace_base)
+
+    traces: List["QueryTrace"] = []
+    if tracer is not None:
+        with _tele.span("serve/traces", head=len(tracer.head)):
+            traces = tracer.finalize(engine, results, stretches,
+                                     graph=graph, base=trace_base)
+        _tele.emit("serve.traces", len(traces))
+
+    hops_sketch = QuantileSketch(SKETCH_ACCURACY)
+    for r in results:
+        if r.ok:
+            hops_sketch.add(r.hops)
+    if hops_sketch.count == 0:
+        hops_sketch.add(0)
+    sketches = {"hops": hops_sketch, "latency_us": lat_sketch}
+    if stretch_sketch is not None:
+        sketches["stretch"] = stretch_sketch
+    stats = engine.stats()
+    report = ServeReport(
+        workload=workload,
+        queries=len(results),
+        seed=seed,
+        mode=mode,
+        cache_size=cache_size,
+        compile_s=compile_s,
+        serve_s=serve_s,
+        throughput_qps=len(results) / serve_s if serve_s > 0 else 0.0,
+        # Hop percentiles stay exact integers (alpha * hops < 0.5).
+        hops_p50=float(round(hops_sketch.quantile(0.5))),
+        hops_p90=float(round(hops_sketch.quantile(0.9))),
+        hops_p99=float(round(hops_sketch.quantile(0.99))),
+        hops_max=float(hops_sketch.max_value or 0.0),
+        latency_us_p50=lat_sketch.quantile(0.5),
+        latency_us_p90=lat_sketch.quantile(0.9),
+        latency_us_p99=lat_sketch.quantile(0.99),
+        cache_hit_rate=stats["cache_hit_rate"],
+        failures=engine.failures,
+        slo_bound=slo_bound if slo else None,
+        slo_fraction=slo_fraction,
+        slo_target=slo_target if slo_fraction is not None else None,
+        cache_hits=stats["cache_hits"],
+        cache_misses=stats["cache_misses"],
+        slo_within=slo_within,
+        packed=_jsonable_summary(compiled),
+        sketches=sketches,
+        metrics=(metrics.snapshot(now=serve_s)
+                 if metrics is not None else {}),
+        traces=traces,
+        exemplars=(metrics.stretch.exemplars()
+                   if metrics is not None else []),
+    )
+    if slo_fraction is not None:
+        _tele.gauge("serve.slo_fraction", slo_fraction)
+    return report, results
 
 
 def run_serving_recorded(

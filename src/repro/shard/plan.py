@@ -1,0 +1,74 @@
+"""S20 shard plan: deterministic query partitioning and seed splitting.
+
+A shard plan must be a *pure function of the query* — never of arrival
+order, worker count changes aside — so that (a) the same ``(source,
+target)`` pair always lands on the same worker (its LRU cache then sees
+every repeat, making the summed shard hit counters equal the one-process
+counters when no eviction occurs), and (b) reports merge order-
+insensitively.  Python's builtin ``hash`` is salted per process
+(``PYTHONHASHSEED``), which would scatter a pair differently in every
+worker and test run; the plan hashes the **serialized** id pair with
+crc32 instead, which is stable across processes, platforms and runs.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Hashable, List, Sequence, Tuple
+
+from ..errors import InputError
+from ..routing.serialization import encode_id
+
+NodeId = Hashable
+Pair = Tuple[NodeId, NodeId]
+
+#: Domain separator so shard hashing can never collide with other crc uses.
+_PLAN_TAG = b"repro.shard.plan:"
+
+
+def shard_of(source: NodeId, target: NodeId, workers: int) -> int:
+    """The shard index serving ``source -> target`` among ``workers``."""
+    if workers <= 0:
+        raise InputError(f"workers must be positive, got {workers}")
+    if workers == 1:
+        return 0
+    blob = json.dumps([encode_id(source), encode_id(target)],
+                      sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(_PLAN_TAG + blob.encode("utf-8")) % workers
+
+
+def partition_pairs(
+    pairs: Sequence[Pair],
+    workers: int,
+) -> Tuple[List[List[Pair]], List[List[int]]]:
+    """Split a pair stream into per-shard slices, preserving stream order.
+
+    Returns ``(slices, indices)`` where ``indices[s][j]`` is the position
+    in the original stream of ``slices[s][j]`` — the pool uses it to
+    reassemble per-query results in stream order, so the sharded result
+    list is position-for-position comparable with the in-process engine's.
+    """
+    if workers <= 0:
+        raise InputError(f"workers must be positive, got {workers}")
+    slices: List[List[Pair]] = [[] for _ in range(workers)]
+    indices: List[List[int]] = [[] for _ in range(workers)]
+    for i, (u, v) in enumerate(pairs):
+        s = shard_of(u, v, workers)
+        slices[s].append((u, v))
+        indices[s].append(i)
+    return slices, indices
+
+
+def split_seed(seed: int, shard: int, workers: int) -> int:
+    """Derive shard ``shard``-of-``workers``'s rng seed from the run seed.
+
+    Stable, collision-resistant within a run (crc over the tagged triple),
+    and distinct from the parent seed so a worker-local consumer (tracer
+    eviction rng, future sampled subsystems) never replays the parent's
+    stream.  Recorded per shard in the RunRecord ``shards`` section.
+    """
+    if not 0 <= shard < workers:
+        raise InputError(f"shard {shard} out of range for {workers} workers")
+    blob = f"{seed}:{shard}:{workers}".encode("utf-8")
+    return zlib.crc32(_PLAN_TAG + blob)

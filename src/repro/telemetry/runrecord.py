@@ -53,6 +53,7 @@ class RunRecord:
     flight: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Dict[str, Any] = field(default_factory=dict)
     traces: List[Dict[str, Any]] = field(default_factory=list)
+    shards: List[Dict[str, Any]] = field(default_factory=list)
     wall_s: float = 0.0
     peak_rss_kb: Optional[int] = None
     package_version: str = ""
@@ -101,6 +102,8 @@ class RunRecord:
             out["metrics"] = _jsonable(self.metrics)
         if self.traces:
             out["traces"] = _jsonable(self.traces)
+        if self.shards:
+            out["shards"] = _jsonable(self.shards)
         return out
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
@@ -121,6 +124,7 @@ class RunRecord:
             flight=list(d.get("flight", [])),
             metrics=dict(d.get("metrics", {})),
             traces=list(d.get("traces", [])),
+            shards=list(d.get("shards", [])),
             wall_s=float(d.get("wall_s", 0.0)),
             peak_rss_kb=d.get("peak_rss_kb"),
             package_version=d.get("package_version", ""),
@@ -151,6 +155,7 @@ def make_run_record(
     flight: Optional[List[Dict[str, Any]]] = None,
     metrics: Optional[Dict[str, Any]] = None,
     traces: Optional[List[Dict[str, Any]]] = None,
+    shards: Optional[List[Dict[str, Any]]] = None,
     wall_s: float = 0.0,
 ) -> RunRecord:
     """Assemble a RunRecord from measurements plus an optional collector.
@@ -160,7 +165,9 @@ def make_run_record(
     :class:`repro.telemetry.flight.auto`); ``metrics`` a live-metrics
     snapshot (:meth:`repro.metrics.ServeMetrics.snapshot`), serialized
     only when non-empty; ``traces`` sampled query traces
-    (:meth:`repro.tracing.QueryTrace.to_dict` payloads), likewise.
+    (:meth:`repro.tracing.QueryTrace.to_dict` payloads), likewise;
+    ``shards`` per-worker rows from a sharded serve
+    (:func:`repro.shard.report.shards_section` payloads), likewise.
     """
     record = RunRecord(
         kind=kind,
@@ -170,6 +177,7 @@ def make_run_record(
         flight=list(flight or []),
         metrics=dict(metrics or {}),
         traces=list(traces or []),
+        shards=list(shards or []),
         wall_s=wall_s,
     )
     if collector is not None:

@@ -501,6 +501,90 @@ class TestUnguardedTraceCapture:
 
 
 # ---------------------------------------------------------------------------
+# REP008 — packed tables never pickle across processes
+# ---------------------------------------------------------------------------
+
+class TestPackedTablePickle:
+    def test_pickled_compiled_scheme_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import pickle
+
+            def ship(compiled, conn):
+                conn.send_bytes(pickle.dumps(compiled))
+        """, rules="REP008", relpath="src/repro/shard/snippet.py")
+        assert rule_ids(report) == ["REP008"]
+
+    def test_packed_table_on_pipe_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def dispatch(conn, packed_tables, pairs):
+                conn.send(("serve", packed_tables, pairs))
+        """, rules="REP008", relpath="src/repro/shard/snippet.py")
+        assert rule_ids(report) == ["REP008"]
+        assert any("manifest" in f.message for f in report.findings)
+
+    def test_process_args_with_compiled_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import multiprocessing as mp
+
+            def start(worker_main, compiled, graph):
+                proc = mp.Process(target=worker_main,
+                                  args=(compiled, graph))
+                proc.start()
+                return proc
+        """, rules="REP008", relpath="src/repro/serve/snippet.py")
+        assert rule_ids(report) == ["REP008"]
+
+    def test_queue_put_sealed_fires(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            def enqueue(q, sealed):
+                q.put(sealed)
+        """, rules="REP008", relpath="src/repro/shard/snippet.py")
+        assert rule_ids(report) == ["REP008"]
+
+    def test_manifest_and_measurements_are_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import json
+
+            def dispatch(conn, manifest, pairs, params):
+                conn.send(("manifest", json.dumps(manifest)))
+                conn.send(("serve", pairs, params))
+
+            def reply(conn, report_rows):
+                conn.send(("report", report_rows))
+        """, rules="REP008", relpath="src/repro/shard/snippet.py")
+        assert report.clean
+
+    def test_pickle_of_non_packed_value_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import pickle
+
+            def stash(results):
+                return pickle.dumps(results)
+        """, rules="REP008", relpath="src/repro/shard/snippet.py")
+        assert report.clean
+
+    def test_out_of_scope_package_is_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import pickle
+
+            def ship(compiled, conn):
+                conn.send(pickle.dumps(compiled))
+        """, rules="REP008", relpath="src/repro/congest/snippet.py")
+        assert report.clean
+
+    def test_pragma_justifies_fork_inheritance(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import multiprocessing as mp
+
+            def start(worker_main, compiled, graph):
+                return mp.Process(  # lint: ignore[REP008] -- fork-only
+                    target=worker_main, args=(compiled, graph))
+        """, rules="REP008", relpath="src/repro/shard/snippet.py")
+        assert report.clean
+        assert len(report.suppressed) == 1
+
+
+# ---------------------------------------------------------------------------
 # Pragmas, baseline, runner
 # ---------------------------------------------------------------------------
 

@@ -250,3 +250,125 @@ class TestReportQuantiles:
         report, _ = run_serving(scheme, graph, queries=50, seed=14)
         with pytest.raises(KeyError, match="hops"):
             report.quantiles("nope")
+
+
+class TestCachePersistence:
+    """DecisionCache.save/load (S20 satellite): versioned warm-cache
+    files, LRU order preserved, restored hit rate >= the warm run's."""
+
+    def test_save_load_round_trip_hit_rate(self, built, tmp_path):
+        from repro.serve import DecisionCache
+        from repro.serve.workloads import make_workload
+
+        graph, scheme = built
+        compiled = compile_scheme(scheme, graph)
+        pairs = make_workload("zipf", graph, compiled.nodes, 400, 41)
+        path = tmp_path / "cache.json"
+
+        engine = ServeEngine(compiled, cache_size=4096)
+        for u, v in pairs:
+            engine.route(u, v)
+        cold = engine.stats()
+        engine.cache.save(path)
+        for u, v in pairs:
+            engine.route(u, v)
+        after = engine.stats()
+        lookups = (after["cache_hits"] + after["cache_misses"]
+                   - cold["cache_hits"] - cold["cache_misses"])
+        warm_rate = (after["cache_hits"] - cold["cache_hits"]) / lookups
+
+        restored = ServeEngine(
+            compiled, cache=DecisionCache.load(path, maxsize=4096))
+        for u, v in pairs:
+            restored.route(u, v)
+        assert restored.stats()["cache_hit_rate"] >= warm_rate
+
+    def test_lru_order_preserved(self, tmp_path):
+        from repro.serve import DecisionCache
+
+        cache = DecisionCache(8)
+        for i in range(5):
+            # The engine stores (tuple(path), length) tuples.
+            cache.put((i, i + 1), ((i, i + 1), float(i)))
+        path = tmp_path / "cache.json"
+        cache.save(path)
+        loaded = DecisionCache.load(path)
+        assert loaded.entries() == cache.entries()
+        assert loaded.maxsize == 8
+
+    def test_format_mismatch_raises(self, tmp_path):
+        from repro.errors import InputError
+        from repro.serve import DecisionCache
+
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"format": 999, "maxsize": 4,
+                                    "entries": []}))
+        with pytest.raises(InputError):
+            DecisionCache.load(path)
+
+    def test_cli_cache_file_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "serve-cache.json"
+        rc = main(["serve", "--n", "40", "--k", "2", "--queries", "80",
+                   "--workload", "zipf", "--seed", "6",
+                   "--cache-file", str(path)])
+        assert rc == 0 and path.exists()
+        cold = capsys.readouterr().out
+        rc = main(["serve", "--n", "40", "--k", "2", "--queries", "80",
+                   "--workload", "zipf", "--seed", "6",
+                   "--cache-file", str(path)])
+        assert rc == 0
+        warm = capsys.readouterr().out
+        assert "hit_rate=100.0%" in warm and "hit_rate=100.0%" not in cold
+
+
+class TestShardedCli:
+    """repro serve --workers N (S20): the sharded serving path."""
+
+    def test_workers_flag_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--workers", "4", "--no-shm"])
+        assert args.workers == 4 and args.shm is False
+        args = build_parser().parse_args(["serve", "--workers", "2"])
+        assert args.shm is True
+
+    def test_two_worker_smoke(self, capsys):
+        rc = main(["serve", "--n", "40", "--k", "2", "--queries", "80",
+                   "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shards        2 workers" in out
+        assert "stretch SLO" in out
+
+    def test_json_has_shards_section(self, capsys):
+        rc = main(["serve", "--n", "40", "--k", "2", "--queries", "80",
+                   "--workers", "2", "--workload", "zipf", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "serve"
+        assert len(doc["shards"]) == 2
+        assert doc["columns"][0]["shards"] == 2
+        assert sum(r["queries"] for r in doc["shards"]) == 80
+
+    def test_workers_incompatible_with_tracing(self, capsys, tmp_path):
+        rc = main(["serve", "--n", "40", "--queries", "20", "--workers",
+                   "2", "--trace-out", str(tmp_path / "t.jsonl")])
+        assert rc == 2
+        rc = main(["serve", "--n", "40", "--queries", "20", "--workers",
+                   "2", "--metrics-out", str(tmp_path / "m.prom")])
+        assert rc == 2
+
+    def test_workers_must_be_positive(self, capsys):
+        assert main(["serve", "--n", "40", "--workers", "0"]) == 2
+
+    def test_sharded_cache_file(self, tmp_path, capsys):
+        path = tmp_path / "shard-cache.json"
+        base = ["serve", "--n", "40", "--k", "2", "--queries", "80",
+                "--workload", "zipf", "--seed", "6",
+                "--cache-file", str(path)]
+        assert main(base + ["--workers", "2"]) == 0
+        capsys.readouterr()
+        # The merged cache warms both a sharded and a single-process run.
+        assert main(base + ["--workers", "2"]) == 0
+        assert "hit_rate=100.0%" in capsys.readouterr().out
+        assert main(base) == 0
+        assert "hit_rate=100.0%" in capsys.readouterr().out

@@ -1,0 +1,123 @@
+"""Tests for ServeReport.merge: the exact per-field shard algebra."""
+
+import random
+
+import pytest
+
+from repro.errors import InputError
+from repro.graphs import random_connected_graph
+from repro.serve import (
+    ServeEngine,
+    ServeReport,
+    compile_scheme,
+    serve_pairs,
+)
+from repro.serve.workloads import make_workload
+from repro.shard import partition_pairs
+from repro.tz import build_centralized_scheme
+
+
+@pytest.fixture(scope="module")
+def built():
+    graph = random_connected_graph(50, seed=31)
+    scheme = build_centralized_scheme(graph, 3, seed=31)
+    return graph, compile_scheme(scheme, graph)
+
+
+def _shard_reports(graph, compiled, pairs, workers, **kwargs):
+    slices, _ = partition_pairs(pairs, workers)
+    reports = []
+    for part in slices:
+        engine = ServeEngine(compiled, cache_size=4096)
+        report, _ = serve_pairs(engine, graph, part, workload="zipf",
+                                seed=7, **kwargs)
+        reports.append(report)
+    return reports
+
+
+class TestMergeAlgebra:
+    def test_empty_list_raises(self):
+        with pytest.raises(InputError):
+            ServeReport.merge([])
+
+    def test_single_shard_identity(self, built):
+        graph, compiled = built
+        pairs = make_workload("zipf", graph, compiled.nodes, 300, 7)
+        [report] = _shard_reports(graph, compiled, pairs, 1)
+        merged = ServeReport.merge([report])
+        assert merged == report
+        assert merged.shards == 1
+        assert merged.sketches["hops"] == report.sketches["hops"]
+
+    def test_merge_equals_single_process(self, built):
+        graph, compiled = built
+        pairs = make_workload("zipf", graph, compiled.nodes, 400, 7)
+        engine = ServeEngine(compiled, cache_size=4096)
+        single, _ = serve_pairs(engine, graph, pairs, workload="zipf",
+                                seed=7)
+        for workers in (2, 4):
+            merged = ServeReport.merge(
+                _shard_reports(graph, compiled, pairs, workers))
+            assert merged == single
+            assert merged.shards == workers
+            # Sketches merge bucket-exactly, not just within accuracy.
+            assert merged.sketches["hops"] == single.sketches["hops"]
+            assert merged.sketches["stretch"] == single.sketches["stretch"]
+            assert merged.slo_within == single.slo_within
+            assert merged.cache_hits == single.cache_hits
+            assert merged.cache_misses == single.cache_misses
+
+    def test_order_insensitive(self, built):
+        graph, compiled = built
+        pairs = make_workload("zipf", graph, compiled.nodes, 300, 7)
+        reports = _shard_reports(graph, compiled, pairs, 4)
+        merged = ServeReport.merge(reports)
+        shuffled = list(reports)
+        random.Random(5).shuffle(shuffled)
+        remerged = ServeReport.merge(shuffled)
+        assert remerged == merged
+        assert remerged.sketches["hops"] == merged.sketches["hops"]
+        assert remerged.exemplars == merged.exemplars
+
+    def test_zero_query_shard(self, built):
+        """A shard that served nothing must not perturb the merge (its
+        lone hops sentinel 0 would otherwise drag percentiles down)."""
+        graph, compiled = built
+        pairs = make_workload("zipf", graph, compiled.nodes, 300, 7)
+        reports = _shard_reports(graph, compiled, pairs, 2)
+        engine = ServeEngine(compiled, cache_size=4096)
+        empty, _ = serve_pairs(engine, graph, [], workload="zipf", seed=7)
+        assert empty.queries == 0
+        merged_with = ServeReport.merge([*reports, empty])
+        merged_without = ServeReport.merge(reports)
+        assert merged_with.hops_p50 == merged_without.hops_p50
+        assert merged_with.queries == merged_without.queries
+        assert merged_with.sketches["hops"] == \
+               merged_without.sketches["hops"]
+
+    def test_all_empty_keeps_sentinel(self, built):
+        graph, compiled = built
+        engine = ServeEngine(compiled, cache_size=16)
+        empty, _ = serve_pairs(engine, graph, [], workload="zipf", seed=7)
+        merged = ServeReport.merge([empty, empty])
+        assert merged.queries == 0
+        assert merged.hops_p50 == 0.0
+        assert merged.sketches["hops"].count == 1
+
+    def test_stream_identity_mismatch_raises(self, built):
+        graph, compiled = built
+        pairs = make_workload("zipf", graph, compiled.nodes, 100, 7)
+        [a] = _shard_reports(graph, compiled, pairs, 1)
+        engine = ServeEngine(compiled, cache_size=4096)
+        b, _ = serve_pairs(engine, graph, pairs, workload="zipf", seed=8)
+        with pytest.raises(InputError):
+            ServeReport.merge([a, b])
+
+    def test_throughput_uses_slowest_shard(self, built):
+        graph, compiled = built
+        pairs = make_workload("zipf", graph, compiled.nodes, 200, 7)
+        reports = _shard_reports(graph, compiled, pairs, 2)
+        merged = ServeReport.merge(reports)
+        assert merged.serve_s == max(r.serve_s for r in reports)
+        assert merged.throughput_qps == pytest.approx(
+            merged.queries / merged.serve_s)
