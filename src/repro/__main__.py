@@ -34,6 +34,7 @@ import json
 import sys
 import time
 from pathlib import Path
+from typing import List, Optional
 
 from .analysis import (
     ReportSpec,
@@ -287,8 +288,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files/directories to lint "
                            "(default: src/repro)")
     lint.add_argument("--rules", type=str, default=None, metavar="IDS",
-                      help="comma-separated rule ids (default: all of "
-                           "REP001-REP008)")
+                      help="comma-separated rule ids (default: the "
+                           "syntactic tier REP001-REP008 + REP012; "
+                           "--flow adds REP009-REP011)")
+    lint.add_argument("--flow", action="store_true",
+                      help="also run the flow tier: project-wide call "
+                           "graph + interprocedural taint analyses "
+                           "(REP009-REP011)")
+    lint.add_argument("--trace", action="store_true",
+                      help="print the source->sink taint path under "
+                           "each flow finding")
+    lint.add_argument("--callgraph", choices=("dot", "json"), default=None,
+                      help="export the project call graph in the given "
+                           "format to stdout and exit (no linting)")
     lint.add_argument("--baseline", type=str, default=None, metavar="PATH",
                       help="baseline file of grandfathered findings "
                            "(default: lint-baseline.json at the repo "
@@ -299,12 +311,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="grandfather the current findings into the "
                            "baseline file (reasons of kept entries are "
                            "preserved; new ones need justifying)")
+    lint.add_argument("--prune-baseline", action="store_true",
+                      help="drop stale grandfathered entries from the "
+                           "baseline file in place")
     lint.add_argument("--explain", action="store_true",
                       help="print the rule catalogue and exit")
     lint.add_argument("--json", action="store_true",
                       help="emit the lint RunRecord as JSON")
     lint.add_argument("--strict", action="store_true",
-                      help="exit 1 on any non-baselined finding")
+                      help="exit 1 on any non-baselined error finding "
+                           "(warnings never gate)")
 
     sub.add_parser("demo", parents=[common],
                    help="tiny end-to-end demonstration")
@@ -669,10 +685,29 @@ def _run_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_root(paths: Optional[List[str]]) -> Optional[Path]:
+    """Repo root for explicit lint paths (None = self-lint the package).
+
+    Module qualnames strip a leading ``src/`` relative to the root, so when
+    the caller points at (something under) a ``src`` tree, anchor the root
+    at that tree's parent; otherwise resolve against the cwd.
+    """
+    if not paths:
+        return None
+    first = Path(paths[0]).resolve()
+    for parent in (first, *first.parents):
+        if parent.name == "src":
+            return parent.parent
+    return Path.cwd()
+
+
 def _run_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
     from .lint import (
-        ALL_RULES,
         Baseline,
+        build_callgraph,
+        prune_baseline,
         resolve_rules,
         run_lint,
         write_baseline,
@@ -681,11 +716,18 @@ def _run_lint(args: argparse.Namespace) -> int:
 
     if args.explain:
         lines = []
-        for rule in resolve_rules(args.rules) if args.rules else \
-                [cls() for cls in ALL_RULES]:
+        for rule in resolve_rules(args.rules, flow=True):
             lines.append(f"{rule.id}  {rule.title}")
             lines.append(f"    protects: {rule.invariant}")
         _deliver("\n".join(lines), args)
+        return 0
+
+    if args.callgraph:
+        graph = build_callgraph(args.paths or None,
+                                root=_lint_root(args.paths))
+        body = (graph.to_dot() if args.callgraph == "dot"
+                else _json.dumps(graph.to_dict(), indent=2))
+        _deliver(body, args)
         return 0
 
     baseline_path = Path(args.baseline) if args.baseline else \
@@ -703,7 +745,8 @@ def _run_lint(args: argparse.Namespace) -> int:
     # the no-argument default self-lints the repo the package ships in.
     report = run_lint(args.paths or None, rules=args.rules,
                       baseline=baseline,
-                      root=Path.cwd() if args.paths else None)
+                      root=_lint_root(args.paths),
+                      flow=args.flow)
 
     if args.write_baseline:
         previous = (Baseline.load(baseline_path)
@@ -713,11 +756,22 @@ def _run_lint(args: argparse.Namespace) -> int:
                  f"({len(base)} entries)", args)
         return 0
 
+    if args.prune_baseline:
+        base = (Baseline.load(baseline_path)
+                if baseline_path.exists() else Baseline())
+        base.path = baseline_path
+        removed = prune_baseline(report, base)
+        _deliver(f"pruned {len(removed)} stale entr"
+                 f"{'y' if len(removed) == 1 else 'ies'} from "
+                 f"{baseline_path} ({len(base)} left)", args)
+        return 0
+
     record = report.to_run_record()
-    body = record.to_json() if args.json else report.render()
+    body = record.to_json() if args.json else \
+        report.render(with_trace=args.trace)
     _deliver(body, args)
     if args.strict and not report.clean:
-        print(f"lint: {len(report.findings)} non-baselined finding(s)",
+        print(f"lint: {len(report.errors)} non-baselined finding(s)",
               file=sys.stderr)
         return 1
     return 0

@@ -23,15 +23,29 @@ baseline file (:mod:`repro.lint.findings`) for grandfathered debt.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from .findings import Finding
 
-#: ``# lint: ignore`` or ``# lint: ignore[REP001, REP004]``
-PRAGMA_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+#: A pragma comment (anchored at the ``#`` so prose that merely
+#: *mentions* the syntax does not register as a suppression).
+PRAGMA_RE = re.compile(
+    r"^#\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?\s*(?:--\s*(\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class PragmaRecord:
+    """One inline ``# lint: ignore`` pragma as written in the source."""
+
+    line: int  # 1-based line carrying the comment
+    rules: Optional[FrozenSet[str]]  # None = all rules
+    reason: str  # the ``-- reason`` tail ("" when missing)
 
 
 @dataclass
@@ -46,21 +60,34 @@ class ModuleInfo:
     suppressions: Dict[int, Optional[FrozenSet[str]]] = field(
         default_factory=dict
     )
+    #: every pragma as written (REP012 audits these for missing reasons)
+    pragmas: List[PragmaRecord] = field(default_factory=list)
 
     def suppressed(self, rule: str, line: int) -> bool:
         """True when ``rule`` is pragma-suppressed at ``line`` (the line
-        itself or a comment line directly above)."""
+        itself or a comment line directly above).
+
+        Rules in :data:`EXPLICIT_ONLY` (the pragma-hygiene audit) are
+        suppressed only when named in the pragma's rule list -- a bare
+        ``# lint: ignore`` must not silence the audit of itself.
+        """
         for at in (line, line - 1):
             rules = self.suppressions.get(at, _MISSING)
             if rules is _MISSING:
                 continue
-            if rules is None or rule in rules:
+            if rules is None:
+                if rule not in EXPLICIT_ONLY:
+                    return True
+            elif rule in rules:
                 return True
         return False
 
 
 #: Sentinel distinguishing "no pragma" from "pragma with no rule list".
 _MISSING: FrozenSet[str] = frozenset({"\0missing"})
+
+#: Rules a bare ``# lint: ignore`` does not suppress (must be listed).
+EXPLICIT_ONLY: FrozenSet[str] = frozenset({"REP012"})
 
 
 def parse_module(path: Path, root: Path) -> ModuleInfo:
@@ -69,24 +96,82 @@ def parse_module(path: Path, root: Path) -> ModuleInfo:
     tree = ast.parse(source, filename=str(path))
     lines = source.splitlines()
     suppressions: Dict[int, Optional[FrozenSet[str]]] = {}
-    for lineno, text in enumerate(lines, start=1):
+    pragmas: List[PragmaRecord] = []
+    for lineno, text in _comment_tokens(source):
         match = PRAGMA_RE.search(text)
         if match is None:
             continue
         listed = match.group(1)
+        rules: Optional[FrozenSet[str]]
         if listed is None:
-            suppressions[lineno] = None
+            rules = None
         else:
-            suppressions[lineno] = frozenset(
+            rules = frozenset(
                 part.strip().upper()
                 for part in listed.split(",") if part.strip()
             )
+        suppressions[lineno] = rules
+        pragmas.append(PragmaRecord(
+            line=lineno, rules=rules,
+            reason=(match.group(2) or "").strip(),
+        ))
+    _extend_to_decorated_defs(tree, suppressions)
     try:
         relpath = path.resolve().relative_to(root.resolve()).as_posix()
     except ValueError:
         relpath = path.as_posix()
     return ModuleInfo(path=path, relpath=relpath, tree=tree,
-                      lines=lines, suppressions=suppressions)
+                      lines=lines, suppressions=suppressions,
+                      pragmas=pragmas)
+
+
+def _comment_tokens(source: str) -> List[tuple]:
+    """(lineno, text) for every real comment token.
+
+    Tokenizing (instead of scanning raw lines) keeps pragma *mentions*
+    inside docstrings and string literals from registering as live
+    suppressions -- only actual ``#`` comments count.
+    """
+    out: List[tuple] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError):
+        pass  # ast.parse already succeeded; truncated trailers are fine
+    return out
+
+
+def _extend_to_decorated_defs(
+    tree: ast.Module,
+    suppressions: Dict[int, Optional[FrozenSet[str]]],
+) -> None:
+    """Let a pragma above a decorator cover the decorated ``def``/``class``.
+
+    Findings anchor to the ``def`` line, but the natural place to write the
+    comment is above the decorator stack; copy the pragma down so
+    :meth:`ModuleInfo.suppressed` matches there too.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            continue
+        if not node.decorator_list:
+            continue
+        first = min(d.lineno for d in node.decorator_list)
+        for at in (first, first - 1):
+            if at not in suppressions:
+                continue
+            rules = suppressions[at]
+            existing = suppressions.get(node.lineno)
+            if node.lineno in suppressions:
+                if rules is None or existing is None:
+                    suppressions[node.lineno] = None
+                else:
+                    suppressions[node.lineno] = existing | rules
+            else:
+                suppressions[node.lineno] = rules
+            break
 
 
 class Rule:

@@ -1,0 +1,707 @@
+"""Intra-procedural dataflow: the per-function taint interpreter.
+
+This is the middle layer of the flow tier (:mod:`repro.lint.graph` below,
+:mod:`repro.lint.taint` above).  A :class:`FunctionAnalyzer` walks one
+function's statements in source order, tracking which locals hold tainted
+values, and produces a :class:`Summary` of the function's *boundary
+behavior*: which fresh taints it returns, which parameters flow to its
+return value, which parameters reach a sink inside it (directly or through
+deeper calls, composed from callee summaries), and which values it
+captures on ``self``.  The taint engine iterates these summaries to a
+fixed point and re-runs a final emission pass, so a source three calls
+away from its sink is still connected -- with the whole path recorded as
+human-readable :class:`Step` entries.
+
+What a rule considers a source, a sanitizer, or a sink is injected via a
+:class:`FlowSpec`; the interpreter itself is rule-agnostic.
+
+Precision notes (documented, deliberate):
+
+* statements are interpreted in source order; branches of ``if``/``try``
+  are walked sequentially over one environment (a taint assigned in one
+  branch survives into the next unless reassigned) and loop bodies are
+  walked twice to pick up loop-carried flows -- an over-approximation;
+* assignment *replaces* a local's taint (``x = 0`` after ``x = time.time()``
+  clears it), which keeps sanitizing rewrites precise;
+* ``param``-kind taints are ordinary taints whose label is the parameter
+  name; the summary builder separates them out, so one mechanism covers
+  both "fresh source here" and "flows in from the caller";
+* traces and taint sets are bounded (:data:`MAX_TRACE_STEPS`,
+  :data:`MAX_TAINTS`, :data:`MAX_CHAIN_STEPS`) -- propagation simply
+  stops past the bound, which is what makes the interprocedural pass
+  *bounded* rather than exhaustive.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .graph import (
+    MUTATING_METHODS,
+    ClassInfo,
+    FunctionInfo,
+    ProjectModel,
+)
+
+__all__ = [
+    "FlowSpec",
+    "FunctionAnalyzer",
+    "MAX_CHAIN_STEPS",
+    "MAX_TAINTS",
+    "MAX_TRACE_STEPS",
+    "SinkHit",
+    "Step",
+    "Summary",
+    "Taint",
+    "Taints",
+    "merge_taints",
+]
+
+#: Longest human-readable trace kept per taint; extensions past this are
+#: dropped (the prefix stays valid).
+MAX_TRACE_STEPS = 12
+#: Distinct taints tracked per value (dedup by (kind, label), shortest
+#: trace wins).
+MAX_TAINTS = 4
+#: Longest composed source->sink chain; interprocedural propagation stops
+#: past it (the "bounded" in bounded interprocedural taint).
+MAX_CHAIN_STEPS = 16
+
+#: Taint kind reserved for "flows in from this function parameter".
+PARAM_KIND = "<param>"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One hop of a taint trace: where, and what happened."""
+
+    relpath: str
+    line: int
+    desc: str
+
+    def render(self) -> str:
+        return f"{self.relpath}:{self.line}: {self.desc}"
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One tainted value: the source kind/label plus the path so far."""
+
+    kind: str  # spec-defined ("wallclock", "rng", ...) or PARAM_KIND
+    label: str  # human source label, or the parameter name for PARAM_KIND
+    steps: Tuple[Step, ...] = ()
+
+    def extended(self, step: Step) -> "Taint":
+        if len(self.steps) >= MAX_TRACE_STEPS:
+            return self
+        if self.steps and self.steps[-1] == step:
+            return self
+        return Taint(self.kind, self.label, self.steps + (step,))
+
+    @property
+    def is_param(self) -> bool:
+        return self.kind == PARAM_KIND
+
+
+Taints = Tuple[Taint, ...]
+
+NO_TAINT: Taints = ()
+
+
+def merge_taints(*sets: Sequence[Taint]) -> Taints:
+    """Union taint sets, deduping by (kind, label) with the shortest
+    trace winning; bounded at :data:`MAX_TAINTS` (param taints always
+    kept -- dropping them would silently sever caller chains)."""
+    best: Dict[Tuple[str, str], Taint] = {}
+    order: List[Tuple[str, str]] = []
+    for group in sets:
+        for t in group:
+            key = (t.kind, t.label)
+            kept = best.get(key)
+            if kept is None:
+                best[key] = t
+                order.append(key)
+            elif len(t.steps) < len(kept.steps):
+                best[key] = t
+    out = [best[k] for k in order]
+    if len(out) <= MAX_TAINTS:
+        return tuple(out)
+    params = [t for t in out if t.is_param]
+    rest = [t for t in out if not t.is_param]
+    return tuple((params + rest)[:MAX_TAINTS])
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A sink reachable from one of a function's parameters.
+
+    ``steps`` is the path *inside* the function from the parameter to the
+    sink (already composed through deeper calls); the caller prepends its
+    own source trace when a tainted argument binds to ``param``.
+    """
+
+    param: str
+    desc: str  # sink description (becomes part of the message)
+    relpath: str
+    line: int
+    col: int
+    context: str  # qualname (module-less) of the function holding the sink
+    steps: Tuple[Step, ...] = ()
+
+
+@dataclass(frozen=True)
+class Summary:
+    """One function's taint boundary behavior."""
+
+    returns: Taints = ()  # fresh taints reaching the return value
+    param_returns: FrozenSet[str] = frozenset()  # params -> return value
+    param_sinks: Tuple[SinkHit, ...] = ()  # params -> sinks inside
+    param_stores: FrozenSet[str] = frozenset()  # params captured on self
+    #: fresh taints captured on self attributes: ((attr, taints), ...)
+    attr_taints: Tuple[Tuple[str, Taints], ...] = ()
+
+
+EMPTY_SUMMARY = Summary()
+
+
+class FlowSpec:
+    """What one flow rule considers a source, sanitizer, and sink.
+
+    Subclassed per rule in :mod:`repro.lint.taint`; every hook has a
+    neutral default so a spec only states what it cares about.
+    """
+
+    rule_id: str = "REP000"
+    #: track ``self.attr = tainted`` captures and instance-level taint
+    #: (the escape analysis REP011 needs)
+    track_self_capture: bool = False
+    #: treat iteration over set-typed values as a fresh source (REP010)
+    track_set_order: bool = False
+    #: calls whose result is always untainted, regardless of arguments
+    universal_sanitizers: FrozenSet[str] = frozenset(
+        {"len", "isinstance", "bool", "type", "id", "callable"})
+
+    def call_source(self, name: str, call: ast.Call,
+                    fn: FunctionInfo) -> Optional[Tuple[str, str]]:
+        """(kind, label) when an *external* call births a taint."""
+        return None
+
+    def attribute_source(self, attr: str,
+                         node: ast.Attribute) -> Optional[Tuple[str, str]]:
+        """(kind, label) when reading ``.attr`` births a taint."""
+        return None
+
+    def class_source(self, cls: ClassInfo) -> Optional[Tuple[str, str]]:
+        """(kind, label) when *instantiating* a project class births one."""
+        return None
+
+    def iteration_source(self) -> Optional[Tuple[str, str]]:
+        """(kind, label) for iterating an unordered (set-typed) value."""
+        return None
+
+    def sanitizes(self, name: str, kind: str) -> bool:
+        """True when external call ``name`` launders taints of ``kind``."""
+        return name.split(".")[-1] in self.universal_sanitizers
+
+    def sink_param(self, fn: FunctionInfo,
+                   param: str) -> Optional[str]:
+        """Sink description when binding a tainted value to ``param`` of
+        project function ``fn`` is itself the violation."""
+        return None
+
+    def attr_store_sanctioned(self, obj_type: Optional[str], attr: str,
+                              project: ProjectModel) -> bool:
+        """True when ``obj.attr = tainted`` should NOT taint ``obj``.
+
+        Lets REP010 treat stores into ``field(compare=False)`` columns
+        (``report.compile_s = wall``) as sanctioned instead of smearing
+        the taint over the whole object."""
+        return False
+
+    def sink_field(self, cls: ClassInfo, fname: str,
+                   project: ProjectModel) -> Optional[str]:
+        """Sink description for binding a tainted value to a dataclass
+        field at a construction site."""
+        return None
+
+    def sink_call(self, call: ast.Call, fn: FunctionInfo,
+                  project: ProjectModel) -> List[Tuple[ast.AST, str]]:
+        """(payload expression, sink description) pairs for call-shaped
+        sinks (pipe sends, process spawns, pickles)."""
+        return []
+
+
+#: Callback the engine passes on the emission pass:
+#: emit(taint, relpath, line, col, context, desc, suffix_steps)
+EmitFn = Callable[[Taint, str, int, int, str, str, Tuple[Step, ...]], None]
+
+
+class FunctionAnalyzer:
+    """Interpret one function against a spec and produce its summary."""
+
+    def __init__(
+        self,
+        project: ProjectModel,
+        spec: FlowSpec,
+        fn: FunctionInfo,
+        summaries: Dict[str, Summary],
+        class_captures: Dict[str, Taints],
+        emit: Optional[EmitFn] = None,
+    ) -> None:
+        self.project = project
+        self.spec = spec
+        self.fn = fn
+        self.summaries = summaries
+        self.class_captures = class_captures
+        self.emit = emit
+        self.env: Dict[str, Taints] = {}
+        self.types: Dict[str, str] = {}  # local -> class qualname | "set"
+        self._returns: List[Taint] = []
+        self._param_sinks: List[SinkHit] = []
+        self._param_stores: set = set()
+        self._attr_taints: Dict[str, Taints] = {}
+
+    # -- entry ---------------------------------------------------------------
+
+    def run(self) -> Summary:
+        params = list(self.fn.params) + list(self.fn.kwonly)
+        for p in params:
+            self.env[p] = (Taint(PARAM_KIND, p),)
+        body = getattr(self.fn.node, "body", [])
+        self.exec_block(body)
+        returns = merge_taints([t for t in self._returns if not t.is_param])
+        param_returns = frozenset(
+            t.label for t in self._returns if t.is_param)
+        attr_taints = tuple(sorted(
+            (a, ts) for a, ts in self._attr_taints.items()))
+        # Deterministic, bounded summary.
+        return Summary(
+            returns=returns,
+            param_returns=param_returns,
+            param_sinks=tuple(dict.fromkeys(self._param_sinks)),
+            param_stores=frozenset(self._param_stores),
+            attr_taints=attr_taints,
+        )
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def context(self) -> str:
+        qual = self.fn.qualname
+        prefix = self.fn.module + "."
+        return qual[len(prefix):] if qual.startswith(prefix) else qual
+
+    def _step(self, node: ast.AST, desc: str) -> Step:
+        return Step(self.fn.relpath, getattr(node, "lineno", 0), desc)
+
+    def _report(self, taints: Taints, node: ast.AST, desc: str,
+                *, at: Optional[SinkHit] = None,
+                extra: Tuple[Step, ...] = ()) -> None:
+        """Route tainted-value-meets-sink: real taints emit findings,
+        param taints become SinkHit summary entries for our callers."""
+        for t in taints:
+            steps = t.steps + extra
+            if len(steps) > MAX_CHAIN_STEPS:
+                continue  # bounded interprocedural: stop composing
+            if t.is_param:
+                if at is not None:
+                    hit = SinkHit(t.label, at.desc, at.relpath, at.line,
+                                  at.col, at.context, steps + at.steps)
+                else:
+                    hit = SinkHit(t.label, desc, self.fn.relpath,
+                                  getattr(node, "lineno", 0),
+                                  getattr(node, "col_offset", 0),
+                                  self.context, steps)
+                self._param_sinks.append(hit)
+            elif self.emit is not None:
+                if at is not None:
+                    self.emit(t, at.relpath, at.line, at.col, at.context,
+                              at.desc, steps + at.steps)
+                else:
+                    self.emit(t, self.fn.relpath,
+                              getattr(node, "lineno", 0),
+                              getattr(node, "col_offset", 0),
+                              self.context, desc, steps)
+
+    # -- statements ----------------------------------------------------------
+
+    def exec_block(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taints = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taints, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self.eval(stmt.value), stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            taints = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                old = self.env.get(stmt.target.id, NO_TAINT)
+                self.env[stmt.target.id] = merge_taints(old, taints)
+            else:
+                self._bind(stmt.target, taints, stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                here = self._step(stmt, f"returned from {self.context}()")
+                self._returns.extend(
+                    t.extended(here) for t in self.eval(stmt.value))
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind_iteration(stmt.target, stmt.iter)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.body)  # loop-carried flows
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taints = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taints, item.context_expr)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_block(handler.body)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert, ast.Delete)):
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.expr):
+                    self.eval(sub)
+        # Nested defs/classes are indexed as their own functions by the
+        # project model; closures over locals are out of scope here.
+
+    def _bind(self, target: ast.AST, taints: Taints,
+              value: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            if taints:
+                here = self._step(target, f"assigned to {target.id!r}")
+                self.env[target.id] = merge_taints(
+                    [t.extended(here) for t in taints])
+            else:
+                self.env[target.id] = NO_TAINT
+            self._track_type(target.id, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, taints, value)
+        elif isinstance(target, ast.Attribute):
+            self._store_attribute(target, taints)
+        elif isinstance(target, ast.Subscript):
+            # d[k] = tainted  ->  the container local carries the taint.
+            base = target.value
+            while isinstance(base, (ast.Subscript, ast.Attribute)):
+                if isinstance(base, ast.Attribute) and \
+                        isinstance(base.value, ast.Name) and \
+                        base.value.id == "self":
+                    self._capture_self(base.attr, taints, target)
+                    return
+                base = base.value
+            if isinstance(base, ast.Name) and taints:
+                here = self._step(target, f"stored into {base.id!r}")
+                self.env[base.id] = merge_taints(
+                    self.env.get(base.id, NO_TAINT),
+                    [t.extended(here) for t in taints])
+
+    def _store_attribute(self, target: ast.Attribute,
+                         taints: Taints) -> None:
+        if isinstance(target.value, ast.Name) and target.value.id == "self":
+            self._capture_self(target.attr, taints, target)
+        elif isinstance(target.value, ast.Name) and taints:
+            # obj.attr = tainted -> the object local carries the taint
+            # (unless the spec sanctions that attribute as a sink-exempt
+            # column, e.g. field(compare=False) stores for REP010).
+            name = target.value.id
+            if self.spec.attr_store_sanctioned(
+                    self.types.get(name), target.attr, self.project):
+                return
+            here = self._step(target, f"captured by {name}.{target.attr}")
+            self.env[name] = merge_taints(
+                self.env.get(name, NO_TAINT),
+                [t.extended(here) for t in taints])
+
+    def _capture_self(self, attr: str, taints: Taints,
+                      node: ast.AST) -> None:
+        if not taints:
+            return
+        owner = self.fn.owner_class or self.context
+        cls = owner.rsplit(".", 1)[-1]
+        here = self._step(node, f"captured on self.{attr} of {cls}")
+        fresh = [t.extended(here) for t in taints if not t.is_param]
+        if fresh:
+            self._attr_taints[attr] = merge_taints(
+                self._attr_taints.get(attr, NO_TAINT), fresh)
+        for t in taints:
+            if t.is_param:
+                self._param_stores.add(t.label)
+
+    def _track_type(self, name: str, value: ast.AST) -> None:
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            self.types[name] = "set"
+            return
+        if isinstance(value, ast.Call):
+            callee = value.func
+            cname = callee.id if isinstance(callee, ast.Name) else None
+            if cname in ("set", "frozenset"):
+                self.types[name] = "set"
+                return
+            resolved = self.project.resolve_call(self.fn, value, self.types)
+            if resolved.constructed is not None:
+                self.types[name] = resolved.constructed.qualname
+                return
+        self.types.pop(name, None)
+
+    def _is_set_valued(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return self.types.get(node.id) == "set"
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Name) and \
+                    callee.id in ("set", "frozenset"):
+                return True
+        return False
+
+    def _bind_iteration(self, target: ast.AST, iter_expr: ast.AST) -> None:
+        taints = self.eval(iter_expr)
+        if self.spec.track_set_order and self._is_set_valued(iter_expr):
+            source = self.spec.iteration_source()
+            if source is not None:
+                kind, label = source
+                taints = merge_taints(taints, (Taint(
+                    kind, label,
+                    (self._step(iter_expr, f"source: {label}"),)),))
+        self._bind(target, taints, iter_expr)
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval(self, node: ast.AST) -> Taints:  # noqa: C901 (dispatch table)
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, NO_TAINT)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.NamedExpr):
+            taints = self.eval(node.value)
+            self._bind(node.target, taints, node.value)
+            return taints
+        if isinstance(node, (ast.BinOp, ast.BoolOp, ast.UnaryOp,
+                             ast.IfExp, ast.JoinedStr, ast.FormattedValue,
+                             ast.Await, ast.Starred)):
+            groups = []
+            for sub in ast.iter_child_nodes(node):
+                if isinstance(sub, ast.expr):
+                    groups.append(self.eval(sub))
+            if isinstance(node, ast.IfExp):  # test is control, not data
+                groups = [self.eval(node.body), self.eval(node.orelse)]
+            return merge_taints(*groups)
+        if isinstance(node, ast.Compare):
+            # Comparison outcomes (threshold verdicts) are sanctioned:
+            # evaluate operands for their side effects, drop the taint.
+            self.eval(node.left)
+            for cmp in node.comparators:
+                self.eval(cmp)
+            return NO_TAINT
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            return merge_taints(*[self.eval(e) for e in node.elts])
+        if isinstance(node, ast.Dict):
+            groups = [self.eval(k) for k in node.keys if k is not None]
+            groups += [self.eval(v) for v in node.values]
+            return merge_taints(*groups)
+        if isinstance(node, ast.Subscript):
+            self.eval(node.slice)
+            return self.eval(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                self._bind_iteration(gen.target, gen.iter)
+                for cond in gen.ifs:
+                    self.eval(cond)
+            return self.eval(node.elt)
+        if isinstance(node, ast.DictComp):
+            for gen in node.generators:
+                self._bind_iteration(gen.target, gen.iter)
+                for cond in gen.ifs:
+                    self.eval(cond)
+            return merge_taints(self.eval(node.key), self.eval(node.value))
+        if isinstance(node, (ast.Constant, ast.Lambda)):
+            return NO_TAINT
+        if isinstance(node, ast.expr):
+            return merge_taints(*[
+                self.eval(sub) for sub in ast.iter_child_nodes(node)
+                if isinstance(sub, ast.expr)])
+        return NO_TAINT
+
+    def _eval_attribute(self, node: ast.Attribute) -> Taints:
+        source = self.spec.attribute_source(node.attr, node)
+        fresh: Taints = NO_TAINT
+        if source is not None:
+            kind, label = source
+            fresh = (Taint(kind, label,
+                           (self._step(node, f"source: {label}"),)),)
+        # self.attr loads see class-level captures (escape analysis).
+        if (self.spec.track_self_capture
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self" and self.fn.owner_class):
+            captured = self.class_captures.get(
+                f"{self.fn.owner_class}.{node.attr}", NO_TAINT)
+            return merge_taints(fresh, captured, self.eval(node.value))
+        return merge_taints(fresh, self.eval(node.value))
+
+    # -- calls ---------------------------------------------------------------
+
+    def _eval_call(self, call: ast.Call) -> Taints:
+        arg_taints = [self.eval(a) for a in call.args]
+        kw_taints = [self.eval(kw.value) for kw in call.keywords]
+        all_args = merge_taints(*arg_taints, *kw_taints)
+        resolved = self.project.resolve_call(self.fn, call, self.types)
+
+        # Call-shaped sinks (pipe sends, Process spawns, pickles).
+        for payload, desc in self.spec.sink_call(call, self.fn,
+                                                 self.project):
+            taints = self.eval(payload)
+            self._report(
+                taints, call, desc,
+                extra=(self._step(call, f"sink: {desc}"),))
+
+        result: List[Taints] = []
+        for target in resolved.targets:
+            result.append(self._apply_project_call(call, target, resolved))
+        if resolved.constructed is not None:
+            result.append(self._apply_construction(call,
+                                                   resolved.constructed))
+        if resolved.external is not None:
+            result.append(self._apply_external(call, resolved.external,
+                                               all_args))
+        if not resolved.targets and resolved.constructed is None \
+                and resolved.external is None:
+            # Unresolvable (e.g. method on an unknown object): propagate
+            # receiver + argument taints; mutating methods also taint the
+            # receiver local.
+            receiver: Taints = NO_TAINT
+            method = ""
+            if isinstance(call.func, ast.Attribute):
+                method = call.func.attr
+                receiver = self.eval(call.func.value)
+                if method in MUTATING_METHODS and all_args and \
+                        isinstance(call.func.value, ast.Name):
+                    name = call.func.value.id
+                    here = self._step(call, f"stored into {name!r} via "
+                                            f".{method}(...)")
+                    self.env[name] = merge_taints(
+                        self.env.get(name, NO_TAINT),
+                        [t.extended(here) for t in all_args])
+            # ``.{method}`` lets specs sanitize copying methods
+            # (``view.tobytes()`` returns bytes, not the view).
+            result.append(tuple(
+                t for t in merge_taints(receiver, all_args)
+                if not method or not self.spec.sanitizes(f".{method}",
+                                                         t.kind)))
+        return merge_taints(*result)
+
+    def _apply_project_call(self, call: ast.Call, target: FunctionInfo,
+                            resolved) -> Taints:
+        summary = self.summaries.get(target.qualname, EMPTY_SUMMARY)
+        out: List[Taint] = []
+        here = self._step(call, f"returned by {target.qualname}()")
+        out.extend(t.extended(here) for t in summary.returns)
+        hits_by_param: Dict[str, List[SinkHit]] = {}
+        for hit in summary.param_sinks:
+            hits_by_param.setdefault(hit.param, []).append(hit)
+        for param, arg_expr in target.bind(call):
+            taints = self.eval(arg_expr)
+            if not taints:
+                continue
+            bind_step = self._step(
+                call, f"passed to {target.qualname}() parameter {param!r}")
+            bound = tuple(t.extended(bind_step) for t in taints)
+            # Binding-is-the-sink (e.g. rng/seed parameters).
+            desc = self.spec.sink_param(target, param)
+            if desc is not None:
+                self._report(bound, call, desc)
+            # Sinks deeper inside the callee (composed summaries).
+            for hit in hits_by_param.get(param, ()):
+                self._report(bound, call, hit.desc, at=hit)
+            if param in summary.param_returns:
+                through = self._step(
+                    call, f"passed through {target.qualname}()")
+                out.extend(t.extended(through) for t in bound)
+            if self.spec.track_self_capture and \
+                    param in summary.param_stores:
+                captured = self._step(
+                    call, f"captured by {target.qualname.rsplit('.', 2)[-2]}"
+                          f"(...) via parameter {param!r}")
+                out.extend(t.extended(captured) for t in bound)
+        return merge_taints(out)
+
+    def _apply_construction(self, call: ast.Call,
+                            cls: ClassInfo) -> Taints:
+        out: List[Taint] = []
+        source = self.spec.class_source(cls)
+        if source is not None:
+            kind, label = source
+            out.append(Taint(kind, label,
+                             (self._step(call, f"source: {label}"),)))
+        if self.spec.track_self_capture:
+            for qual in [cls.qualname] + [c.qualname for c in
+                                          self.project.mro(cls.qualname)]:
+                for attr_key, taints in self.class_captures.items():
+                    owner, _, _attr = attr_key.rpartition(".")
+                    if owner != qual:
+                        continue
+                    here = self._step(
+                        call, f"instance of {cls.name} carries it")
+                    out.extend(t.extended(here) for t in taints)
+        # Dataclass field binding: positional + keyword against the
+        # declared field order.
+        if cls.is_dataclass and cls.fields:
+            bindings: List[Tuple[str, ast.AST]] = []
+            for i, arg in enumerate(call.args):
+                if not isinstance(arg, ast.Starred) and i < len(cls.fields):
+                    bindings.append((cls.fields[i], arg))
+            for kw in call.keywords:
+                if kw.arg is not None:
+                    bindings.append((kw.arg, kw.value))
+            for fname, expr in bindings:
+                taints = self.eval(expr)
+                if not taints:
+                    continue
+                desc = self.spec.sink_field(cls, fname, self.project)
+                if desc is not None:
+                    bind = self._step(
+                        call, f"sink: bound to field {fname!r} of "
+                              f"{cls.name}(...)")
+                    self._report(
+                        tuple(t.extended(bind) for t in taints), call, desc)
+                if self.spec.track_self_capture:
+                    captured = self._step(
+                        call, f"captured by {cls.name}.{fname}")
+                    out.extend(t.extended(captured) for t in taints)
+        return merge_taints(out)
+
+    def _apply_external(self, call: ast.Call, name: str,
+                        all_args: Taints) -> Taints:
+        source = self.spec.call_source(name, call, self.fn)
+        fresh: Taints = NO_TAINT
+        if source is not None:
+            kind, label = source
+            fresh = (Taint(kind, label,
+                           (self._step(call, f"source: {label}"),)),)
+        surviving = tuple(t for t in all_args
+                          if not self.spec.sanitizes(name, t.kind))
+        return merge_taints(fresh, surviving)

@@ -23,31 +23,48 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 FindingKey = Tuple[str, str, str, str]
 
+#: Finding severities.  ``error`` findings fail ``--strict``; ``warning``
+#: findings (pragma hygiene, advisory notes) are reported but never gate.
+SEVERITIES = ("error", "warning")
+
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation: rule id, location, and a one-line message."""
+    """One rule violation: rule id, location, and a one-line message.
 
-    rule: str  # "REP001" ... "REP005" (or "REP000" for parse failures)
+    Flow-tier findings additionally carry a ``trace``: the human-readable
+    source -> call-chain -> sink path the taint engine followed, one
+    ``path:line: description`` step per element.  The trace is *not* part
+    of the baseline key -- it explains the finding, it does not identify
+    it.
+    """
+
+    rule: str  # "REP001" ... "REP012" (or "REP000" for parse failures)
     path: str  # repo-relative posix path
     line: int  # 1-based
     col: int  # 0-based, matching ast
     context: str  # enclosing qualname, e.g. "FloodMax.on_round"
     message: str
+    severity: str = "error"  # "error" | "warning"
+    trace: Tuple[str, ...] = ()  # source -> sink steps (flow tier)
 
     def key(self) -> FindingKey:
         """Line-free identity used for baseline matching."""
         return (self.rule, self.path, self.context, self.message)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out: Dict[str, Any] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "context": self.context,
             "message": self.message,
+            "severity": self.severity,
         }
+        if self.trace:
+            out["trace"] = list(self.trace)
+        return out
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "Finding":
@@ -58,11 +75,19 @@ class Finding:
             col=int(d.get("col", 0)),
             context=d.get("context", "<module>"),
             message=d["message"],
+            severity=d.get("severity", "error"),
+            trace=tuple(d.get("trace", ())),
         )
 
-    def render(self) -> str:
-        return (f"{self.path}:{self.line}:{self.col + 1}: "
+    def render(self, *, with_trace: bool = False) -> str:
+        head = (f"{self.path}:{self.line}:{self.col + 1}: "
                 f"{self.rule} [{self.context}] {self.message}")
+        if self.severity != "error":
+            head = f"{head} ({self.severity})"
+        if not (with_trace and self.trace):
+            return head
+        steps = [f"    {i}. {step}" for i, step in enumerate(self.trace, 1)]
+        return "\n".join([head, "    taint path:"] + steps)
 
 
 @dataclass(frozen=True)

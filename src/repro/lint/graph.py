@@ -1,0 +1,542 @@
+"""Project model: symbol table and call graph over the linted tree.
+
+The flow tier (REP009-REP011, :mod:`repro.lint.taint`) needs to see
+*through* function calls, which means knowing -- project-wide -- what
+name a call site actually reaches.  :func:`build_project` turns the
+parsed :class:`~repro.lint.core.ModuleInfo` list into a
+:class:`ProjectModel`:
+
+* every module gets a dotted name derived from its repo path
+  (``src/repro/serve/harness.py`` -> ``repro.serve.harness``);
+* every ``import``/``from .. import`` is resolved into a per-module
+  alias map, relative imports included;
+* every function, method, and class is indexed under its qualified name
+  (:class:`FunctionInfo` / :class:`ClassInfo`), with dataclass
+  ``field(compare=False)`` declarations recorded so the determinism
+  checker can tell equality-compared columns from sanctioned wall-clock
+  ones;
+* the class hierarchy is linked (bases resolved through the alias maps,
+  direct subclasses inverted) so method calls dispatch through
+  ``self``/subclass overrides the way ``NodeProgram``- and
+  ``Rule``-style hierarchies are actually used.
+
+:meth:`ProjectModel.resolve_call` is the single entry point the
+dataflow pass uses: given a call site plus the caller's local type
+environment it returns the project functions the call may reach (all
+override candidates for dispatched method calls) and/or the external
+dotted name (``random.Random``, ``time.time``) for library calls.
+
+:class:`CallGraph` materializes every resolved edge and exports to JSON
+(the artifact CI caches between jobs) or Graphviz dot
+(``repro lint --callgraph dot``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .core import ModuleInfo, dotted
+
+__all__ = [
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "ProjectModel",
+    "ResolvedCall",
+    "build_project",
+    "module_name",
+]
+
+#: Methods that mutate their receiver in place; a tainted argument
+#: taints the receiving local (``rows.append(wall)`` taints ``rows``).
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "appendleft", "push",
+})
+
+
+def module_name(relpath: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/`` prefixes are stripped and ``__init__.py`` names the
+    package itself, so ``src/repro/lint/__init__.py`` -> ``repro.lint``.
+    """
+    parts = relpath.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return relpath
+    last = parts[-1]
+    if last.endswith(".py"):
+        last = last[:-3]
+    if last == "__init__":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + [last]
+    return ".".join(parts) if parts else last
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  # "repro.serve.harness.serve_pairs" / "...Cls.meth"
+    module: str
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    params: List[str]  # positional-or-keyword names, ``self`` excluded
+    kwonly: List[str] = field(default_factory=list)
+    owner_class: Optional[str] = None  # owning ClassInfo qualname
+    relpath: str = ""
+
+    @property
+    def is_method(self) -> bool:
+        return self.owner_class is not None
+
+    def bind(self, call: ast.Call) -> List[Tuple[str, ast.expr]]:
+        """Map call-site arguments onto parameter names.
+
+        Starred arguments are skipped (the engine falls back to
+        conservative propagation for them).
+        """
+        bound: List[Tuple[str, ast.expr]] = []
+        for i, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            if i < len(self.params):
+                bound.append((self.params[i], arg))
+        named = set(self.params) | set(self.kwonly)
+        for kw in call.keywords:
+            if kw.arg is None:  # **kwargs
+                continue
+            if kw.arg in named or not named:
+                bound.append((kw.arg, kw.value))
+        return bound
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus its place in the hierarchy."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    base_exprs: List[str] = field(default_factory=list)  # raw dotted
+    bases: List[str] = field(default_factory=list)  # resolved qualnames
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> fn qual
+    #: dataclass fields declared ``field(compare=False)`` -- the
+    #: sanctioned wall-clock/observability columns equality ignores
+    compare_excluded: Set[str] = field(default_factory=set)
+    #: annotated dataclass-style fields, in declaration order
+    fields: List[str] = field(default_factory=list)
+    subclasses: Set[str] = field(default_factory=set)  # direct
+    is_dataclass: bool = False
+    relpath: str = ""
+
+
+@dataclass
+class ResolvedCall:
+    """What a call site may reach.
+
+    ``targets`` are project functions (several when subclass dispatch
+    applies); ``external`` is the fully-resolved dotted name for
+    library calls (``random.Random``); ``constructed`` is set when the
+    call instantiates a project class.
+    """
+
+    targets: List[FunctionInfo] = field(default_factory=list)
+    external: Optional[str] = None
+    constructed: Optional[ClassInfo] = None
+    method_name: Optional[str] = None  # attr name for o.m() style calls
+
+
+class ProjectModel:
+    """Symbol table + class hierarchy over every linted module."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.imports: Dict[str, Dict[str, str]] = {}  # module -> alias map
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: simple class name -> qualnames (fallback resolution)
+        self._class_simple: Dict[str, List[str]] = {}
+
+    # -- name resolution ----------------------------------------------------
+
+    def resolve_name(self, module: str, name: str) -> Optional[str]:
+        """Fully qualify a (possibly dotted) name used inside ``module``."""
+        head, _, rest = name.partition(".")
+        aliases = self.imports.get(module, {})
+        if head in aliases:
+            base = aliases[head]
+            return f"{base}.{rest}" if rest else base
+        local = f"{module}.{name}"
+        if local in self.functions or local in self.classes:
+            return local
+        local_head = f"{module}.{head}"
+        if local_head in self.classes and rest:
+            return f"{local_head}.{rest}"
+        if name in self.functions or name in self.classes:
+            return name
+        return None
+
+    def class_named(self, qual_or_simple: str) -> Optional[ClassInfo]:
+        info = self.classes.get(qual_or_simple)
+        if info is not None:
+            return info
+        quals = self._class_simple.get(qual_or_simple, [])
+        return self.classes[quals[0]] if len(quals) == 1 else None
+
+    # -- hierarchy ----------------------------------------------------------
+
+    def mro(self, class_qual: str) -> List[ClassInfo]:
+        """The class plus resolved project bases, depth-first, deduped."""
+        out: List[ClassInfo] = []
+        seen: Set[str] = set()
+        stack = [class_qual]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            info = self.classes.get(qual)
+            if info is None:
+                continue
+            out.append(info)
+            stack.extend(info.bases)
+        return out
+
+    def transitive_subclasses(self, class_qual: str) -> List[ClassInfo]:
+        out: List[ClassInfo] = []
+        seen: Set[str] = set()
+        stack = sorted(self.classes[class_qual].subclasses) \
+            if class_qual in self.classes else []
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen:
+                continue
+            seen.add(qual)
+            info = self.classes.get(qual)
+            if info is None:
+                continue
+            out.append(info)
+            stack.extend(sorted(info.subclasses))
+        return out
+
+    def dispatch(self, class_qual: str, method: str) -> List[FunctionInfo]:
+        """Static target (via the MRO) plus every subclass override."""
+        targets: List[FunctionInfo] = []
+        seen: Set[str] = set()
+        for cls in self.mro(class_qual):
+            fn_qual = cls.methods.get(method)
+            if fn_qual and fn_qual not in seen:
+                seen.add(fn_qual)
+                targets.append(self.functions[fn_qual])
+                break  # nearest definition wins for the static type
+        for sub in self.transitive_subclasses(class_qual):
+            fn_qual = sub.methods.get(method)
+            if fn_qual and fn_qual not in seen:
+                seen.add(fn_qual)
+                targets.append(self.functions[fn_qual])
+        return targets
+
+    def field_compare_excluded(self, class_qual: str, name: str) -> bool:
+        """Is ``name`` a ``field(compare=False)`` column anywhere in the
+        class's project MRO?"""
+        return any(name in cls.compare_excluded
+                   for cls in self.mro(class_qual))
+
+    # -- call resolution ----------------------------------------------------
+
+    def resolve_call(
+        self,
+        caller: FunctionInfo,
+        call: ast.Call,
+        local_types: Optional[Dict[str, str]] = None,
+    ) -> ResolvedCall:
+        """Resolve one call site inside ``caller``.
+
+        ``local_types`` maps local variable names to class qualnames
+        (inferred by the dataflow pass from ``x = ClassName(...)``).
+        """
+        local_types = local_types or {}
+        func = call.func
+        resolved = ResolvedCall()
+
+        if isinstance(func, ast.Name):
+            qual = self.resolve_name(caller.module, func.id)
+            self._fill_from_qual(resolved, qual, default=func.id)
+            return resolved
+
+        if isinstance(func, ast.Attribute):
+            resolved.method_name = func.attr
+            base = func.value
+            # self.method() -> dispatch through the owner hierarchy
+            if (isinstance(base, ast.Name) and base.id == "self"
+                    and caller.owner_class):
+                resolved.targets = self.dispatch(caller.owner_class,
+                                                 func.attr)
+                return resolved
+            # obj.method() with an inferred local type -> same dispatch
+            if isinstance(base, ast.Name) and base.id in local_types:
+                cls = local_types[base.id]
+                if cls in self.classes:
+                    resolved.targets = self.dispatch(cls, func.attr)
+                    return resolved
+            # module.attr(...) or Class.attr(...) through the alias map
+            name = dotted(func)
+            if name is not None:
+                qual = self.resolve_name(caller.module, name)
+                self._fill_from_qual(resolved, qual, default=name)
+            return resolved
+
+        return resolved
+
+    def _fill_from_qual(self, resolved: ResolvedCall,
+                        qual: Optional[str], default: str) -> None:
+        if qual is None:
+            resolved.external = default
+            return
+        if qual in self.functions:
+            resolved.targets = [self.functions[qual]]
+            return
+        if qual in self.classes:
+            cls = self.classes[qual]
+            resolved.constructed = cls
+            init = cls.methods.get("__init__")
+            if init:
+                resolved.targets = [self.functions[init]]
+            return
+        resolved.external = qual
+
+
+# ---------------------------------------------------------------------------
+# Building the model
+# ---------------------------------------------------------------------------
+
+def build_project(modules: Sequence[ModuleInfo]) -> ProjectModel:
+    project = ProjectModel()
+    for mod in modules:
+        name = module_name(mod.relpath)
+        project.modules[name] = mod
+        project.imports[name] = _import_aliases(mod.tree, name)
+        _index_definitions(project, name, mod)
+    _link_hierarchy(project)
+    return project
+
+
+def _import_aliases(tree: ast.Module, module: str) -> Dict[str, str]:
+    aliases: Dict[str, str] = {}
+    package_parts = module.split(".")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                target = alias.name if alias.asname else \
+                    alias.name.partition(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # ``from ..telemetry import x`` inside repro.serve.harness:
+                # drop (level) trailing components of the *module* path.
+                base_parts = package_parts[:-node.level] \
+                    if node.level <= len(package_parts) else []
+                base = ".".join(base_parts)
+                source = f"{base}.{node.module}" if node.module and base \
+                    else (node.module or base)
+            else:
+                source = node.module or ""
+            if not source:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{source}.{alias.name}"
+    return aliases
+
+
+def _params_of(node: ast.AST) -> Tuple[List[str], List[str], bool]:
+    args = node.args  # type: ignore[attr-defined]
+    names = [a.arg for a in args.posonlyargs + args.args]
+    has_self = bool(names) and names[0] in ("self", "cls")
+    if has_self:
+        names = names[1:]
+    return names, [a.arg for a in args.kwonlyargs], has_self
+
+
+def _index_definitions(project: ProjectModel, module: str,
+                       mod: ModuleInfo) -> None:
+    def add_function(node: ast.AST, owner: Optional[ClassInfo]) -> None:
+        params, kwonly, _ = _params_of(node)
+        name = node.name  # type: ignore[attr-defined]
+        qual = f"{owner.qualname}.{name}" if owner else f"{module}.{name}"
+        info = FunctionInfo(
+            qualname=qual, module=module, name=name, node=node,
+            params=params, kwonly=kwonly,
+            owner_class=owner.qualname if owner else None,
+            relpath=mod.relpath,
+        )
+        project.functions[qual] = info
+        if owner is not None:
+            owner.methods[name] = qual
+
+    def add_class(node: ast.ClassDef) -> None:
+        qual = f"{module}.{node.name}"
+        info = ClassInfo(
+            qualname=qual, module=module, name=node.name, node=node,
+            base_exprs=[d for d in (dotted(b) for b in node.bases)
+                        if d is not None],
+            is_dataclass=any(
+                (dotted(dec) or "").split(".")[-1].startswith("dataclass")
+                for dec in node.decorator_list
+                if not isinstance(dec, ast.Call)
+            ) or any(
+                (dotted(dec.func) or "").split(".")[-1]
+                .startswith("dataclass")
+                for dec in node.decorator_list
+                if isinstance(dec, ast.Call)
+            ),
+            relpath=mod.relpath,
+        )
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                info.fields.append(stmt.target.id)
+                if _is_compare_false_field(stmt.value):
+                    info.compare_excluded.add(stmt.target.id)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                add_function(stmt, info)
+        project.classes[qual] = info
+        project._class_simple.setdefault(node.name, []).append(qual)
+
+    for stmt in mod.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            add_function(stmt, None)
+        elif isinstance(stmt, ast.ClassDef):
+            add_class(stmt)
+
+
+def _is_compare_false_field(value: Optional[ast.expr]) -> bool:
+    """``x: T = field(compare=False, ...)`` (any callee named field)."""
+    if not isinstance(value, ast.Call):
+        return False
+    callee = value.func
+    name = callee.id if isinstance(callee, ast.Name) else (
+        callee.attr if isinstance(callee, ast.Attribute) else None)
+    if name != "field":
+        return False
+    for kw in value.keywords:
+        if kw.arg == "compare" and isinstance(kw.value, ast.Constant) \
+                and kw.value.value is False:
+            return True
+    return False
+
+
+def _link_hierarchy(project: ProjectModel) -> None:
+    for info in project.classes.values():
+        for expr in info.base_exprs:
+            qual = project.resolve_name(info.module, expr)
+            if qual is None or qual not in project.classes:
+                # Fall back to a unique simple name anywhere in the
+                # project (mirrors how node_program_classes matches).
+                simple = expr.split(".")[-1]
+                candidates = project._class_simple.get(simple, [])
+                qual = candidates[0] if len(candidates) == 1 else None
+            if qual is not None and qual in project.classes:
+                info.bases.append(qual)
+                project.classes[qual].subclasses.add(info.qualname)
+
+
+# ---------------------------------------------------------------------------
+# Call graph export
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CallEdge:
+    caller: str
+    callee: str
+    line: int
+    kind: str  # "project" | "external" | "constructor"
+
+
+class CallGraph:
+    """Every resolved call edge, exportable as JSON or Graphviz dot."""
+
+    def __init__(self, project: ProjectModel) -> None:
+        self.project = project
+        self.edges: List[CallEdge] = []
+        self._build()
+
+    def _build(self) -> None:
+        seen: Set[CallEdge] = set()
+        for fn in sorted(self.project.functions.values(),
+                         key=lambda f: f.qualname):
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = self.project.resolve_call(fn, node)
+                for target in resolved.targets:
+                    edge = CallEdge(fn.qualname, target.qualname,
+                                    node.lineno, "project")
+                    if edge not in seen:
+                        seen.add(edge)
+                        self.edges.append(edge)
+                if resolved.constructed is not None and \
+                        not resolved.targets:
+                    edge = CallEdge(fn.qualname,
+                                    resolved.constructed.qualname,
+                                    node.lineno, "constructor")
+                    if edge not in seen:
+                        seen.add(edge)
+                        self.edges.append(edge)
+                elif resolved.external is not None:
+                    edge = CallEdge(fn.qualname, resolved.external,
+                                    node.lineno, "external")
+                    if edge not in seen:
+                        seen.add(edge)
+                        self.edges.append(edge)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "modules": sorted(self.project.modules),
+            "functions": sorted(self.project.functions),
+            "classes": {
+                qual: {
+                    "bases": sorted(info.bases),
+                    "subclasses": sorted(info.subclasses),
+                    "methods": dict(sorted(info.methods.items())),
+                    "compare_excluded": sorted(info.compare_excluded),
+                }
+                for qual, info in sorted(self.project.classes.items())
+            },
+            "edges": [
+                {"caller": e.caller, "callee": e.callee,
+                 "line": e.line, "kind": e.kind}
+                for e in self.edges
+            ],
+        }
+
+    def to_dot(self, *, external: bool = False) -> str:
+        lines = ["digraph callgraph {", "  rankdir=LR;",
+                 '  node [shape=box, fontsize=10];']
+        shown: Set[str] = set()
+
+        def nid(name: str) -> str:
+            return '"' + name.replace('"', "'") + '"'
+
+        for e in self.edges:
+            if e.kind == "external" and not external:
+                continue
+            for name in (e.caller, e.callee):
+                if name not in shown:
+                    shown.add(name)
+                    style = ' [style=dashed]' \
+                        if e.kind == "external" and name == e.callee else ""
+                    lines.append(f"  {nid(name)}{style};")
+            lines.append(f"  {nid(e.caller)} -> {nid(e.callee)};")
+        lines.append("}")
+        return "\n".join(lines)

@@ -879,6 +879,55 @@ class _PickleVisitor(ScopedVisitor):
 
 
 # ---------------------------------------------------------------------------
+# REP012 — pragma hygiene
+# ---------------------------------------------------------------------------
+
+class PragmaHygiene(Rule):
+    """Every ``# lint: ignore`` pragma must carry a ``-- reason``.
+
+    The pragma is the inline escape hatch for by-design violations; its
+    ``-- reason`` tail is what makes a suppressed finding auditable
+    instead of invisible.  Flags (at *warning* severity -- reported,
+    never gating ``--strict``):
+
+    * a pragma with an empty or missing reason;
+    * a bare ``# lint: ignore`` with no rule list (it suppresses every
+      rule on the line, which is never the documented intent).
+
+    REP012 findings can only be suppressed by naming the rule explicitly
+    (``# lint: ignore[REP012] -- ...``); a bare pragma does not
+    self-suppress its own hygiene warning.
+    """
+
+    id = "REP012"
+    title = "pragma hygiene: every suppression carries its reason"
+    invariant = ("A clean lint run is a certificate only if every "
+                 "suppression is self-documenting; a bare pragma is an "
+                 "invisible hole in the certificate.")
+
+    def check_module(self, mod: ModuleInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for pragma in mod.pragmas:
+            problems: List[str] = []
+            if not pragma.reason:
+                problems.append("has no '-- reason' tail")
+            if pragma.rules is None:
+                problems.append("names no rules (suppresses everything "
+                                "on the line)")
+            elif not pragma.rules:
+                problems.append("has an empty rule list")
+            if not problems:
+                continue
+            findings.append(Finding(
+                rule=self.id, path=mod.relpath, line=pragma.line, col=0,
+                context="<module>", severity="warning",
+                message=("# lint: ignore pragma " + " and ".join(problems)
+                         + "; write '# lint: ignore[REP00X] -- why'"),
+            ))
+        return findings
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -891,6 +940,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     HotLabelAllocation,
     UnguardedTraceCapture,
     PackedTablePickle,
+    PragmaHygiene,
 )
 
 RULES_BY_ID: Dict[str, Type[Rule]] = {r.id: r for r in ALL_RULES}

@@ -23,7 +23,9 @@ from ..telemetry.bounds import BoundVerdict
 from ..telemetry.runrecord import RunRecord
 from .core import ModuleInfo, Rule, parse_module
 from .findings import UNJUSTIFIED, Baseline, BaselineEntry, Finding
+from .graph import CallGraph, build_project
 from .rules import ALL_RULES, RULES_BY_ID
+from .taint import FLOW_RULES, FLOW_RULES_BY_ID, FlowRule
 
 #: Repo root: src/repro/lint/runner.py -> three levels above ``src``.
 REPO_ROOT = Path(__file__).resolve().parents[3]
@@ -67,9 +69,23 @@ class LintReport:
     wall_s: float = 0.0
 
     @property
+    def errors(self) -> List[Finding]:
+        """Error-severity findings (what ``--strict`` gates on)."""
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        """Warning-severity findings (reported, never gating)."""
+        return [f for f in self.findings if f.severity != "error"]
+
+    @property
     def clean(self) -> bool:
-        """True when nothing needs fixing (strict mode passes)."""
-        return not self.findings
+        """True when nothing needs fixing (strict mode passes).
+
+        Warning-severity findings (pragma hygiene) are advisory and do
+        not make a run unclean.
+        """
+        return not self.errors
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -84,19 +100,21 @@ class LintReport:
             "wall_s": round(self.wall_s, 4),
         }
 
-    def render(self) -> str:
+    def render(self, *, with_trace: bool = False) -> str:
         lines: List[str] = []
         for f in self.findings:
-            lines.append(f.render())
+            lines.append(f.render(with_trace=with_trace))
         if self.stale_baseline:
             lines.append("")
             lines.append("stale baseline entries (fixed or gone -- remove "
-                         "them from the baseline):")
+                         "them with --prune-baseline):")
             for e in self.stale_baseline:
                 lines.append(f"  {e.rule} {e.path} [{e.context}] {e.message}")
         lines.append("")
+        warnings = self.warnings
+        warn = f", {len(warnings)} warning(s)" if warnings else ""
         lines.append(
-            f"{len(self.findings)} finding(s) in {self.files} file(s) "
+            f"{len(self.errors)} finding(s){warn} in {self.files} file(s) "
             f"({len(self.baselined)} baselined, "
             f"{len(self.suppressed)} pragma-suppressed; "
             f"rules: {', '.join(self.rules)})"
@@ -108,8 +126,8 @@ class LintReport:
         verdict = BoundVerdict(
             name="lint/clean",
             column="findings",
-            formula="non-baselined findings == 0",
-            measured=float(len(self.findings)),
+            formula="non-baselined error findings == 0",
+            measured=float(len(self.errors)),
             limit=0.0,
             passed=self.clean,
         )
@@ -129,23 +147,27 @@ class LintReport:
         )
 
 
-def resolve_rules(spec: Optional[Union[str, Sequence[str]]]) -> List[Rule]:
+def resolve_rules(spec: Optional[Union[str, Sequence[str]]],
+                  *, flow: bool = False) -> List[Rule]:
     """Instantiate the requested rules (all of them by default).
 
     ``spec`` is a comma-separated string or a sequence of rule ids;
-    unknown ids raise :class:`~repro.errors.InputError`.
+    unknown ids raise :class:`~repro.errors.InputError`.  ``flow=True``
+    adds the flow-tier rules (REP009-REP011) to the default set; naming
+    a flow rule explicitly in ``spec`` always works, ``--flow`` or not.
     """
     if spec is None:
-        return [cls() for cls in ALL_RULES]
+        classes = list(ALL_RULES) + (list(FLOW_RULES) if flow else [])
+        return [cls() for cls in classes]
     ids = ([s.strip().upper() for s in spec.split(",")]
            if isinstance(spec, str) else [s.upper() for s in spec])
     rules: List[Rule] = []
     for rule_id in ids:
         if not rule_id:
             continue
-        cls = RULES_BY_ID.get(rule_id)
+        cls = RULES_BY_ID.get(rule_id) or FLOW_RULES_BY_ID.get(rule_id)
         if cls is None:
-            known = ", ".join(sorted(RULES_BY_ID))
+            known = ", ".join(sorted({**RULES_BY_ID, **FLOW_RULES_BY_ID}))
             raise InputError(f"unknown lint rule {rule_id!r} (known: {known})")
         rules.append(cls())
     if not rules:
@@ -159,19 +181,22 @@ def run_lint(
     rules: Optional[Union[str, Sequence[str]]] = None,
     baseline: Optional[Union[Baseline, str, Path]] = None,
     root: Optional[Path] = None,
+    flow: bool = False,
 ) -> LintReport:
     """Lint ``paths`` (default: ``src/repro``) and return the report.
 
     ``baseline`` is a :class:`Baseline`, a path to one, or ``None`` to
     auto-load ``lint-baseline.json`` from the repo root when present.
     Relative paths resolve against ``root`` (default: the repo root).
+    ``flow=True`` adds the project-wide taint analyses (REP009-REP011)
+    on top of the syntactic tier.
     """
     started = time.perf_counter()
     root = Path(root) if root is not None else REPO_ROOT
     raw_paths = [Path(p) for p in (paths or DEFAULT_PATHS)]
     resolved = [p if p.is_absolute() else root / p for p in raw_paths]
     files = iter_python_files(resolved)
-    rule_objs = resolve_rules(rules)
+    rule_objs = resolve_rules(rules, flow=flow)
 
     if baseline is None:
         default = root / DEFAULT_BASELINE
@@ -198,6 +223,12 @@ def run_lint(
             findings.extend(rule.check_module(mod))
     for rule in rule_objs:
         findings.extend(rule.finish(modules))
+
+    flow_rules = [r for r in rule_objs if isinstance(r, FlowRule)]
+    if flow_rules:
+        project = build_project(modules)
+        for rule in flow_rules:
+            findings.extend(rule.check_project(project, modules))
 
     by_relpath = {mod.relpath: mod for mod in modules}
     kept: List[Finding] = []
@@ -240,3 +271,42 @@ def write_baseline(report: LintReport,
     base = Baseline(entries)
     base.save(path)
     return base
+
+
+def prune_baseline(report: LintReport,
+                   baseline: Baseline) -> List[BaselineEntry]:
+    """Drop the report's stale entries from ``baseline`` in place.
+
+    Stale entries excuse findings the code no longer produces; pruning
+    keeps the grandfather file monotonically shrinking.  The file is
+    rewritten at ``baseline.path`` when it has one.  Returns the removed
+    entries.
+    """
+    stale_keys = {e.key() for e in report.stale_baseline}
+    removed = [e for e in baseline.entries if e.key() in stale_keys]
+    if removed:
+        baseline.entries = [e for e in baseline.entries
+                            if e.key() not in stale_keys]
+        if baseline.path is not None:
+            baseline.save(baseline.path)
+    return removed
+
+
+def build_callgraph(
+    paths: Optional[Sequence[Union[str, Path]]] = None,
+    *,
+    root: Optional[Path] = None,
+) -> CallGraph:
+    """Parse ``paths`` (default: ``src/repro``) into the project call
+    graph -- the artifact ``repro lint --callgraph {dot,json}`` exports
+    and CI caches between jobs."""
+    root = Path(root) if root is not None else REPO_ROOT
+    raw_paths = [Path(p) for p in (paths or DEFAULT_PATHS)]
+    resolved = [p if p.is_absolute() else root / p for p in raw_paths]
+    modules: List[ModuleInfo] = []
+    for path in iter_python_files(resolved):
+        try:
+            modules.append(parse_module(path, root))
+        except SyntaxError:
+            continue
+    return CallGraph(build_project(modules))

@@ -1,0 +1,393 @@
+"""The flow tier: interprocedural taint engine + checkers REP009-REP011.
+
+Each checker is a :class:`~repro.lint.dataflow.FlowSpec` (what counts as a
+source, sanitizer, sink) wrapped in a :class:`FlowRule`.  The
+:class:`TaintEngine` runs the rule-agnostic per-function interpreter
+(:class:`~repro.lint.dataflow.FunctionAnalyzer`) over every project
+function, iterating the function summaries to a fixed point so flows
+compose through calls, then replays one emission pass that turns
+source-reaches-sink events into :class:`~repro.lint.findings.Finding`
+records whose ``trace`` is the full human-readable path.
+
+The three checkers strengthen existing syntactic rules from "pattern at
+this line" to "value provably flows here":
+
+* **REP009 rng-provenance** -- an unseeded/OS-seeded random generator or
+  module-global draw constructed *anywhere* that flows into an
+  ``rng``/``seed`` parameter of a project function (the seed-injection
+  convention REP002 can only check call-site-locally);
+* **REP010 determinism** -- wall-clock, environment-dependent, hash-seeded
+  or set-iteration-ordered values flowing into equality-compared report
+  fields (dataclasses that curate their comparison surface with
+  ``field(compare=False)``) or BENCH trajectory rows;
+* **REP011 shm-escape** -- a shared-memory view or packed routing table
+  that escapes its process via a pipe/queue send, ``Process(...)``
+  arguments, or a pickle call -- tracked through ``self.*`` captures and
+  constructor stores (escape analysis), where REP008 only matches names.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from .core import ModuleInfo, Rule
+from .dataflow import (
+    FlowSpec,
+    FunctionAnalyzer,
+    Step,
+    Summary,
+    Taint,
+    Taints,
+    merge_taints,
+)
+from .findings import Finding
+from .graph import ClassInfo, FunctionInfo, ProjectModel
+from .rules import _PACKED_CLASSES, _PICKLE_MODULES, _SEND_METHODS
+
+__all__ = [
+    "DeterminismFlow",
+    "FLOW_RULES",
+    "FLOW_RULES_BY_ID",
+    "FlowRule",
+    "RngProvenance",
+    "ShmEscape",
+    "TaintEngine",
+]
+
+#: Fixed-point iteration bound; summaries stabilize in 2-3 rounds on this
+#: codebase, the bound only guards pathological recursion.
+MAX_ROUNDS = 8
+
+
+class TaintEngine:
+    """Run one spec over the whole project and collect findings."""
+
+    def __init__(self, project: ProjectModel, spec: FlowSpec) -> None:
+        self.project = project
+        self.spec = spec
+
+    def analyze(self) -> List[Finding]:
+        functions = sorted(self.project.functions.items())
+        summaries: Dict[str, Summary] = {}
+        captures: Dict[str, Taints] = {}
+        for _ in range(MAX_ROUNDS):
+            new_summaries: Dict[str, Summary] = {}
+            for qual, fn in functions:
+                new_summaries[qual] = FunctionAnalyzer(
+                    self.project, self.spec, fn, summaries, captures,
+                ).run()
+            new_captures = self._collect_captures(new_summaries)
+            if new_summaries == summaries and new_captures == captures:
+                break
+            summaries, captures = new_summaries, new_captures
+
+        findings: List[Finding] = []
+        seen = set()
+
+        def emit(taint: Taint, relpath: str, line: int, col: int,
+                 context: str, desc: str, steps: Tuple[Step, ...]) -> None:
+            message = f"{taint.label} {desc}"
+            key = (relpath, line, col, context, message)
+            if key in seen:
+                return
+            seen.add(key)
+            findings.append(Finding(
+                rule=self.spec.rule_id, path=relpath, line=line, col=col,
+                context=context, message=message,
+                trace=tuple(s.render() for s in steps),
+            ))
+
+        for qual, fn in functions:
+            FunctionAnalyzer(self.project, self.spec, fn, summaries,
+                             captures, emit=emit).run()
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.message))
+        return findings
+
+    def _collect_captures(
+            self, summaries: Dict[str, Summary]) -> Dict[str, Taints]:
+        """Aggregate ``self.attr`` captures per class attribute, visible
+        along the whole inheritance chain (an attribute set by a base
+        method is read by subclass methods and vice versa)."""
+        captures: Dict[str, Taints] = {}
+        for qual, summary in summaries.items():
+            if not summary.attr_taints:
+                continue
+            fn = self.project.functions[qual]
+            owner = fn.owner_class
+            if owner is None:
+                continue
+            related = [c.qualname for c in self.project.mro(owner)]
+            related += [c.qualname for c in
+                        self.project.transitive_subclasses(owner)]
+            for attr, taints in summary.attr_taints:
+                for cls_qual in related or [owner]:
+                    key = f"{cls_qual}.{attr}"
+                    captures[key] = merge_taints(
+                        captures.get(key, ()), taints)
+        return captures
+
+
+class FlowRule(Rule):
+    """A lint rule backed by a taint spec; runs project-wide."""
+
+    spec_cls: Type[FlowSpec] = FlowSpec
+
+    def check_project(self, project: ProjectModel,
+                      modules: Sequence[ModuleInfo]) -> List[Finding]:
+        return TaintEngine(project, self.spec_cls()).analyze()
+
+
+# ---------------------------------------------------------------------------
+# REP009 — rng provenance
+# ---------------------------------------------------------------------------
+
+#: Functions of the ``random`` module that consume or reseed the shared
+#: module-global stream (mirrors REP002's list, but here the *value* is
+#: tracked to where it is used as a seed/rng).
+_GLOBAL_DRAWS = frozenset({
+    "random", "randrange", "randint", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "betavariate", "expovariate",
+    "normalvariate", "triangular", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "lognormvariate", "getrandbits", "randbytes",
+    "seed",
+})
+
+
+class Rep009Spec(FlowSpec):
+    rule_id = "REP009"
+
+    def call_source(self, name: str, call: ast.Call,
+                    fn: FunctionInfo) -> Optional[Tuple[str, str]]:
+        if name == "random.Random" and not call.args and not call.keywords:
+            return ("rng", "OS-seeded random.Random() (no seed argument)")
+        if name == "random.SystemRandom":
+            return ("rng", "random.SystemRandom() (never reproducible)")
+        head, _, tail = name.rpartition(".")
+        if head == "random" and tail in _GLOBAL_DRAWS:
+            return ("rng", f"module-global random.{tail}()")
+        if tail in ("default_rng", "RandomState") and "random" in head \
+                and not call.args and not call.keywords:
+            return ("rng", f"unseeded {name}()")
+        return None
+
+    def sink_param(self, fn: FunctionInfo, param: str) -> Optional[str]:
+        if param in ("rng", "seed") or param.endswith(("_rng", "_seed")):
+            return (f"flows into seed-injected parameter {param!r} of "
+                    f"{fn.qualname}()")
+        return None
+
+
+class RngProvenance(FlowRule):
+    """Unseeded randomness constructed anywhere must not reach a
+    seed-injected ``rng``/``seed`` parameter -- tracked through helper
+    indirection, the documented blind spot of syntactic REP002."""
+
+    id = "REP009"
+    title = "rng provenance: only seed-derived generators feed samplers"
+    invariant = ("Reproducibility: the differential harness and BENCH "
+                 "trajectories compare runs across commits, which only "
+                 "works when every rng handed to a sampler/builder/engine "
+                 "is derived from an explicit seed -- no matter how many "
+                 "helper calls stand between construction and use.")
+    spec_cls = Rep009Spec
+
+
+# ---------------------------------------------------------------------------
+# REP010 — determinism of compared report fields
+# ---------------------------------------------------------------------------
+
+_WALLCLOCK = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+})
+
+_ENV_DEPENDENT = frozenset({
+    "os.urandom", "os.getpid", "uuid.uuid1", "uuid.uuid4",
+    "socket.gethostname", "platform.node", "secrets.token_hex",
+    "secrets.token_bytes", "secrets.token_urlsafe",
+})
+
+#: Calls that collapse iteration order / measurement identity into a
+#: deterministic value ("unordered" taints die at ``sorted``).
+_ORDER_SANITIZERS = frozenset({"sorted", "min", "max", "sum", "len",
+                               "frozenset", "Counter"})
+
+
+class Rep010Spec(FlowSpec):
+    rule_id = "REP010"
+    track_set_order = True
+
+    def call_source(self, name: str, call: ast.Call,
+                    fn: FunctionInfo) -> Optional[Tuple[str, str]]:
+        if name in _WALLCLOCK:
+            return ("wallclock", f"wall-clock {name}()")
+        if name in _ENV_DEPENDENT:
+            return ("envdep", f"environment-dependent {name}()")
+        if name == "hash" and call.args:
+            arg = call.args[0]
+            if not (isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, int)):
+                return ("hashseed",
+                        "PYTHONHASHSEED-dependent hash() of a non-int key")
+        return None
+
+    def iteration_source(self) -> Optional[Tuple[str, str]]:
+        return ("unordered", "unordered set iteration")
+
+    def sanitizes(self, name: str, kind: str) -> bool:
+        tail = name.split(".")[-1].lstrip(".")
+        if kind == "unordered" and tail in _ORDER_SANITIZERS:
+            return True
+        return super().sanitizes(name, kind)
+
+    def sink_field(self, cls: ClassInfo, fname: str,
+                   project: ProjectModel) -> Optional[str]:
+        # Sinks are dataclasses that *curate* their comparison surface
+        # (declare at least one field(compare=False) column somewhere in
+        # the MRO): for those, every equality-compared field is asserted
+        # byte-identical by the differential/merge certificates.
+        mro = project.mro(cls.qualname)
+        if not any(c.compare_excluded for c in mro):
+            return None
+        if project.field_compare_excluded(cls.qualname, fname):
+            return None  # sanctioned wall-clock/observability column
+        return (f"flows into equality-compared field {fname!r} of "
+                f"{cls.name} -- merge/differential certificates assert "
+                "byte-identity on it")
+
+    def sink_param(self, fn: FunctionInfo, param: str) -> Optional[str]:
+        if fn.module.endswith("telemetry.trajectory") and \
+                param in ("data", "entry"):
+            return (f"flows into a BENCH trajectory row (parameter "
+                    f"{param!r} of {fn.qualname}())")
+        return None
+
+    def attr_store_sanctioned(self, obj_type: Optional[str], attr: str,
+                              project: ProjectModel) -> bool:
+        # report.compile_s = wall is fine when compile_s is a
+        # field(compare=False) column.  With an unknown object type, the
+        # store is sanctioned only if *every* project class declaring
+        # that field excludes it from comparison.
+        if obj_type is not None and obj_type in project.classes:
+            return project.field_compare_excluded(obj_type, attr)
+        declaring = [c for c in project.classes.values()
+                     if attr in c.fields]
+        return bool(declaring) and all(attr in c.compare_excluded
+                                       for c in declaring)
+
+
+class DeterminismFlow(FlowRule):
+    """Nondeterministic values must not reach equality-compared report
+    fields or trajectory rows -- the fields byte-identity tests assert
+    on."""
+
+    id = "REP010"
+    title = "determinism: compared report fields take no wall-clock input"
+    invariant = ("The byte-identical differential and shard-merge "
+                 "certificates compare report fields across runs and "
+                 "shardings; a wall-clock, pid, hash-seeded or "
+                 "set-ordered value in a compared column makes the "
+                 "certificate flaky instead of exact.")
+    spec_cls = Rep010Spec
+
+
+# ---------------------------------------------------------------------------
+# REP011 — shared-memory escape
+# ---------------------------------------------------------------------------
+
+#: Methods that copy a view's bytes out (the result is plain data and may
+#: cross processes freely).
+_VIEW_COPIES = frozenset({"tobytes", "hex", "bytes", "cast"})
+
+
+class Rep011Spec(FlowSpec):
+    rule_id = "REP011"
+    track_self_capture = True
+
+    def call_source(self, name: str, call: ast.Call,
+                    fn: FunctionInfo) -> Optional[Tuple[str, str]]:
+        if name == "memoryview":
+            return ("shm", "memoryview(...) view")
+        return None
+
+    def attribute_source(self, attr: str,
+                         node: ast.Attribute) -> Optional[Tuple[str, str]]:
+        if attr == "buf":
+            return ("shm", "SharedMemory .buf view")
+        return None
+
+    def class_source(self, cls: ClassInfo) -> Optional[Tuple[str, str]]:
+        if cls.name in _PACKED_CLASSES:
+            return ("shm", f"packed table {cls.name}(...)")
+        return None
+
+    def sanitizes(self, name: str, kind: str) -> bool:
+        tail = name.split(".")[-1].lstrip(".")
+        if kind == "shm" and tail in _VIEW_COPIES:
+            return True
+        if kind == "shm" and tail in ("bytes", "list", "tuple"):
+            return True
+        return super().sanitizes(name, kind)
+
+    def sink_call(self, call: ast.Call, fn: FunctionInfo,
+                  project: ProjectModel) -> List[Tuple[ast.AST, str]]:
+        hits: List[Tuple[ast.AST, str]] = []
+        func = call.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            if name in _SEND_METHODS and call.args:
+                hits.append((call.args[0],
+                             f"escapes the process via .{name}(...) -- "
+                             "pipes and queues pickle their payload"))
+                return hits
+            head = func.value
+            if isinstance(head, ast.Name) and \
+                    head.id in _PICKLE_MODULES and \
+                    name in ("dumps", "dump") and call.args:
+                hits.append((call.args[0],
+                             f"escapes via {head.id}.{name}(...) -- a "
+                             "pickled table re-materializes per worker"))
+                return hits
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name == "Process":
+            for kw in call.keywords:
+                if kw.arg in ("args", "kwargs"):
+                    hits.append((kw.value,
+                                 "escapes via Process(...) arguments -- "
+                                 "spawn contexts pickle them"))
+        return hits
+
+
+class ShmEscape(FlowRule):
+    """A shared-memory view or packed table must not escape its process
+    -- tracked as value flow (captures on ``self``, constructor stores),
+    not the name-pattern matching REP008 settles for."""
+
+    id = "REP011"
+    title = "shm escape: views and packed tables stay in-process"
+    invariant = ("The sharded tier's single-copy memory budget holds "
+                 "because workers attach one shared table image by "
+                 "manifest; a memoryview or packed table that rides a "
+                 "pipe, a Process argument, or a pickle either crashes "
+                 "(exported pickles of views fail) or silently "
+                 "re-materializes the entire routing state per worker.")
+    spec_cls = Rep011Spec
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+FLOW_RULES: Tuple[Type[FlowRule], ...] = (
+    RngProvenance,
+    DeterminismFlow,
+    ShmEscape,
+)
+
+FLOW_RULES_BY_ID: Dict[str, Type[FlowRule]] = {r.id: r for r in FLOW_RULES}

@@ -54,10 +54,14 @@ class RunRecord:
     metrics: Dict[str, Any] = field(default_factory=dict)
     traces: List[Dict[str, Any]] = field(default_factory=list)
     shards: List[Dict[str, Any]] = field(default_factory=list)
-    wall_s: float = 0.0
-    peak_rss_kb: Optional[int] = None
+    # Machine-moment provenance: excluded from equality on purpose, so
+    # record comparison (differential / merge certificates) is about the
+    # measurement, never about when or where it ran.  REP010 keys its
+    # compared-field sinks off exactly these compare=False declarations.
+    wall_s: float = field(default=0.0, compare=False)
+    peak_rss_kb: Optional[int] = field(default=None, compare=False)
     package_version: str = ""
-    created_unix: float = 0.0
+    created_unix: float = field(default=0.0, compare=False)
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:

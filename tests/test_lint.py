@@ -21,6 +21,8 @@ from repro.lint import (
     BaselineEntry,
     Finding,
     iter_python_files,
+    parse_module,
+    prune_baseline,
     resolve_rules,
     run_lint,
     write_baseline,
@@ -624,6 +626,110 @@ class TestPragmas:
         assert rule_ids(report) == ["REP002"]
 
 
+class TestPragmaParsingEdgeCases:
+    def _parse(self, tmp_path, source):
+        path = tmp_path / "snippet.py"
+        path.write_text(textwrap.dedent(source))
+        return parse_module(path, tmp_path)
+
+    def test_multi_rule_list_suppresses_each(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            import random
+
+            x = random.random()  # lint: ignore[REP002, REP001] -- demo
+        """, rules="REP001,REP002")
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_multi_rule_record_parses_both_and_reason(self, tmp_path):
+        mod = self._parse(tmp_path, """
+            x = 1  # lint: ignore[REP003,REP007] -- prebuilt, freed later
+        """)
+        (record,) = mod.pragmas
+        assert record.rules == frozenset({"REP003", "REP007"})
+        assert record.reason == "prebuilt, freed later"
+
+    def test_reason_keeps_trailing_prose(self, tmp_path):
+        mod = self._parse(tmp_path, """
+            x = 1  # lint: ignore[REP004] -- scratch (freed; see docs #12)
+        """)
+        assert mod.pragmas[0].reason == "scratch (freed; see docs #12)"
+
+    def test_pragma_above_decorator_covers_the_def(self, tmp_path):
+        mod = self._parse(tmp_path, """
+            import functools
+
+            # lint: ignore[REP001] -- fixture helper
+            @functools.lru_cache()
+            def helper():
+                return 1
+        """)
+        # The pragma sits two lines above the ``def`` (decorator stack in
+        # between) yet must suppress findings anchored at the def line.
+        def_line = next(l for l, t in enumerate(mod.lines, 1)
+                        if t.startswith("def helper"))
+        assert mod.suppressed("REP001", def_line)
+        assert not mod.suppressed("REP002", def_line)
+
+    def test_docstring_mention_does_not_register(self, tmp_path):
+        mod = self._parse(tmp_path, '''
+            def f():
+                """Write ``# lint: ignore[REP001] -- why`` to opt out."""
+                return 1
+        ''')
+        assert mod.pragmas == []
+        assert mod.suppressions == {}
+
+    def test_doc_comment_mention_does_not_register(self, tmp_path):
+        mod = self._parse(tmp_path, """
+            #: prose about the # lint: ignore[REP001] syntax
+            x = 1
+        """)
+        assert mod.pragmas == []
+
+
+class TestPragmaHygiene:
+    def test_missing_reason_fires_warning(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            x = 1  # lint: ignore[REP002]
+        """, rules="REP012")
+        assert rule_ids(report) == ["REP012"]
+        f = report.findings[0]
+        assert f.severity == "warning"
+        assert "-- reason" in f.message
+
+    def test_bare_pragma_fires_and_is_not_self_suppressed(self, tmp_path):
+        # The bare pragma suppresses "every rule" -- except the audit of
+        # itself, which only an explicit [REP012] listing may silence.
+        report = lint_snippet(tmp_path, """
+            x = 1  # lint: ignore -- reason present but scope unbounded
+        """, rules="REP012")
+        assert rule_ids(report) == ["REP012"]
+        assert "names no rules" in report.findings[0].message
+
+    def test_explicit_listing_suppresses_the_audit(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            x = 1  # lint: ignore[REP002, REP012]
+        """, rules="REP012")
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_justified_scoped_pragma_is_silent(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            x = 1  # lint: ignore[REP002] -- demo stream, seed irrelevant
+        """, rules="REP012")
+        assert report.findings == []
+
+    def test_warnings_do_not_gate_strict(self, tmp_path):
+        report = lint_snippet(tmp_path, """
+            x = 1  # lint: ignore[REP002]
+        """, rules="REP012")
+        assert report.findings and report.clean
+        assert report.errors == []
+        assert [f.rule for f in report.warnings] == ["REP012"]
+        assert "(warning)" in report.findings[0].render()
+
+
 class TestBaseline:
     def _dirty_report(self, tmp_path):
         return lint_snippet(tmp_path, """
@@ -680,6 +786,66 @@ class TestBaseline:
         base = Baseline.load(REPO_ROOT / DEFAULT_BASELINE)
         for entry in base.entries:
             assert entry.reason and entry.reason != UNJUSTIFIED
+
+
+class TestPruneBaseline:
+    DIRTY = """
+        import random
+
+        def pick(xs):
+            return random.sample(xs, 2)
+    """
+
+    def test_prune_drops_stale_keeps_live(self, tmp_path):
+        report = lint_snippet(tmp_path, self.DIRTY, rules="REP002")
+        path = tmp_path / "lint-baseline.json"
+        base = write_baseline(report, path)
+        stale = BaselineEntry(rule="REP002", path="src/repro/gone.py",
+                              context="old", message="long gone",
+                              reason="fixed last release")
+        base.entries.append(stale)
+        base.save(path)
+
+        # Re-lint against the now two-entry baseline: one entry still
+        # matches a finding, the other is stale and gets pruned.
+        loaded = Baseline.load(path)
+        loaded.path = path
+        report = run_lint(["src"], rules="REP002", baseline=loaded,
+                          root=tmp_path)
+        assert [e.key() for e in report.stale_baseline] == [stale.key()]
+        removed = prune_baseline(report, loaded)
+        assert [e.key() for e in removed] == [stale.key()]
+        assert len(loaded) == 1  # the live entry survived
+
+        # The prune rewrote the file in place: round-trip shows one entry.
+        assert len(Baseline.load(path)) == 1
+        again = run_lint(["src"], rules="REP002",
+                         baseline=Baseline.load(path), root=tmp_path)
+        assert again.clean and again.stale_baseline == []
+
+    def test_prune_on_current_baseline_is_noop(self, tmp_path):
+        report = lint_snippet(tmp_path, self.DIRTY, rules="REP002")
+        path = tmp_path / "lint-baseline.json"
+        base = write_baseline(report, path)
+        base.path = path
+        assert prune_baseline(report, base) == []
+        assert len(Baseline.load(path)) == 1
+
+    def test_cli_prune_reports_count(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        path = tmp_path / "base.json"
+        assert main(["lint", str(dirty), "--baseline", str(path),
+                     "--write-baseline"]) == 0
+        # Fix the violation, then prune: the grandfathered entry is stale.
+        dirty.write_text("x = 1\n")
+        capsys.readouterr()
+        assert main(["lint", str(dirty), "--baseline", str(path),
+                     "--prune-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 1 stale entry" in out
+        assert "(0 left)" in out
+        assert len(Baseline.load(path)) == 0
 
 
 class TestRunner:

@@ -1,0 +1,665 @@
+"""Tests for the flow tier of ``repro.lint`` (graph / dataflow / taint).
+
+Covers the project model (module naming, import resolution, subclass
+dispatch, ``field(compare=False)`` extraction), the call-graph export,
+and the three interprocedural checkers REP009/REP010/REP011 -- each with
+positive and negative snippets including at least one case that *requires*
+interprocedural propagation (the source and the sink live in different
+functions or modules, where a per-module syntactic check has nothing to
+match), plus the source -> sink trace rendering and the CLI surface
+(``--flow``, ``--trace``, ``--callgraph``).
+"""
+
+import json
+import textwrap
+
+from repro.__main__ import main
+from repro.lint import (
+    Baseline,
+    build_callgraph,
+    build_project,
+    module_name,
+    parse_module,
+    resolve_rules,
+    run_lint,
+)
+from repro.lint.graph import CallGraph
+
+
+def write_tree(tmp_path, files):
+    for rel, text in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text))
+
+
+def lint_flow(tmp_path, files, *, rules=None, flow=True):
+    write_tree(tmp_path, files)
+    return run_lint(["src"], rules=rules, baseline=Baseline(),
+                    root=tmp_path, flow=flow)
+
+
+def project_of(tmp_path, files):
+    write_tree(tmp_path, files)
+    modules = [
+        parse_module(p, tmp_path)
+        for p in sorted((tmp_path / "src").rglob("*.py"))
+    ]
+    return build_project(modules)
+
+
+def rule_ids(report):
+    return sorted({f.rule for f in report.findings})
+
+
+# ---------------------------------------------------------------------------
+# Project model
+# ---------------------------------------------------------------------------
+
+class TestModuleName:
+    def test_plain_module(self):
+        assert module_name("src/repro/serve/harness.py") == \
+            "repro.serve.harness"
+
+    def test_package_init(self):
+        assert module_name("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_no_src_prefix(self):
+        assert module_name("repro/congest/engine.py") == \
+            "repro.congest.engine"
+
+
+class TestProjectModel:
+    FILES = {
+        "src/repro/base.py": """
+            class Program:
+                def on_round(self, api):
+                    return 0
+
+            class Helper:
+                pass
+        """,
+        "src/repro/impl.py": """
+            from .base import Program
+
+            class Fast(Program):
+                def on_round(self, api):
+                    return 1
+
+            class Faster(Fast):
+                def on_round(self, api):
+                    return 2
+
+            def drive(p):
+                return p.on_round(None)
+
+            def make_and_run():
+                p = Fast(7)
+                return p.on_round(None)
+        """,
+    }
+
+    def test_imports_resolve_relative(self, tmp_path):
+        project = project_of(tmp_path, self.FILES)
+        assert project.resolve_name("repro.impl", "Program") == \
+            "repro.base.Program"
+
+    def test_hierarchy_links_and_transitive_subclasses(self, tmp_path):
+        project = project_of(tmp_path, self.FILES)
+        subs = [c.qualname for c in
+                project.transitive_subclasses("repro.base.Program")]
+        assert subs == ["repro.impl.Fast", "repro.impl.Faster"]
+
+    def test_self_dispatch_includes_subclass_overrides(self, tmp_path):
+        project = project_of(tmp_path, self.FILES)
+        targets = project.dispatch("repro.base.Program", "on_round")
+        quals = [t.qualname for t in targets]
+        assert "repro.base.Program.on_round" in quals
+        assert "repro.impl.Fast.on_round" in quals
+        assert "repro.impl.Faster.on_round" in quals
+
+    def test_constructor_typed_local_dispatches(self, tmp_path):
+        import ast
+
+        project = project_of(tmp_path, self.FILES)
+        fn = project.functions["repro.impl.make_and_run"]
+        call = None
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute):
+                call = node
+        resolved = project.resolve_call(fn, call, {"p": "repro.impl.Fast"})
+        quals = [t.qualname for t in resolved.targets]
+        # Static type Fast plus the Faster override; never the base.
+        assert "repro.impl.Fast.on_round" in quals
+        assert "repro.impl.Faster.on_round" in quals
+
+    def test_compare_excluded_fields_extracted(self, tmp_path):
+        project = project_of(tmp_path, {
+            "src/repro/rep.py": """
+                from dataclasses import dataclass, field
+
+                @dataclass
+                class Report:
+                    queries: int = 0
+                    wall_s: float = field(default=0.0, compare=False)
+            """,
+        })
+        info = project.classes["repro.rep.Report"]
+        assert info.is_dataclass
+        assert info.fields == ["queries", "wall_s"]
+        assert info.compare_excluded == {"wall_s"}
+        assert project.field_compare_excluded("repro.rep.Report", "wall_s")
+        assert not project.field_compare_excluded("repro.rep.Report",
+                                                  "queries")
+
+
+class TestCallGraph:
+    FILES = {
+        "src/repro/a.py": """
+            import time
+
+            def leaf():
+                return time.time()
+
+            def mid():
+                return leaf()
+        """,
+    }
+
+    def test_edges_and_json(self, tmp_path):
+        project = project_of(tmp_path, self.FILES)
+        graph = CallGraph(project)
+        doc = graph.to_dict()
+        edges = {(e["caller"], e["callee"], e["kind"])
+                 for e in doc["edges"]}
+        assert ("repro.a.mid", "repro.a.leaf", "project") in edges
+        assert ("repro.a.leaf", "time.time", "external") in edges
+        assert "repro.a" in doc["modules"]
+
+    def test_dot_export(self, tmp_path):
+        project = project_of(tmp_path, self.FILES)
+        dot = CallGraph(project).to_dot()
+        assert dot.startswith("digraph callgraph {")
+        assert '"repro.a.mid" -> "repro.a.leaf";' in dot
+        # External edges are hidden by default...
+        assert "time.time" not in dot
+        # ...and shown on request.
+        assert "time.time" in CallGraph(project).to_dot(external=True)
+
+
+# ---------------------------------------------------------------------------
+# REP009 — rng provenance
+# ---------------------------------------------------------------------------
+
+class TestRngProvenance:
+    def test_interprocedural_unseeded_rng_reaches_sampler(self, tmp_path):
+        # The construction and the sink live in different modules: the
+        # per-module syntactic REP002 sees an innocent helper call here.
+        report = lint_flow(tmp_path, {
+            "src/repro/helpers.py": """
+                import random
+
+                def fresh_rng():
+                    return random.Random()
+            """,
+            "src/repro/build.py": """
+                from .helpers import fresh_rng
+
+                def sample_pairs(n, rng):
+                    return [rng.random() for _ in range(n)]
+
+                def build(n):
+                    r = fresh_rng()
+                    return sample_pairs(n, rng=r)
+            """,
+        }, rules="REP009")
+        assert rule_ids(report) == ["REP009"]
+        f = report.findings[0]
+        assert "OS-seeded random.Random()" in f.message
+        assert "parameter 'rng'" in f.message
+        assert f.trace  # the source -> sink call chain is attached
+        assert any("source:" in step for step in f.trace)
+        assert any("fresh_rng" in step for step in f.trace)
+
+    def test_module_global_draw_reaching_seed_param(self, tmp_path):
+        report = lint_flow(tmp_path, {
+            "src/repro/run.py": """
+                import random
+
+                def build_tables(graph, seed):
+                    return seed
+
+                def run(graph):
+                    s = random.randrange(2**32)
+                    return build_tables(graph, seed=s)
+            """,
+        }, rules="REP009")
+        assert rule_ids(report) == ["REP009"]
+        assert "module-global random.randrange()" in \
+            report.findings[0].message
+
+    def test_seeded_random_is_silent(self, tmp_path):
+        report = lint_flow(tmp_path, {
+            "src/repro/ok.py": """
+                import random
+
+                def sample_pairs(n, rng):
+                    return [rng.random() for _ in range(n)]
+
+                def build(n, seed):
+                    r = random.Random(seed)
+                    return sample_pairs(n, rng=r)
+            """,
+        }, rules="REP009")
+        assert report.findings == []
+
+    def test_rng_passthrough_param_is_silent(self, tmp_path):
+        # Threading a caller-provided rng through helpers is exactly the
+        # sanctioned pattern; the param-kind taint must not fire.
+        report = lint_flow(tmp_path, {
+            "src/repro/thread.py": """
+                def inner(rng):
+                    return rng.random()
+
+                def outer(rng):
+                    return inner(rng)
+            """,
+        }, rules="REP009")
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# REP010 — determinism of compared fields
+# ---------------------------------------------------------------------------
+
+_REPORT_MODULE = """
+    from dataclasses import dataclass, field
+
+    @dataclass
+    class Report:
+        queries: int = 0
+        wall_s: float = field(default=0.0, compare=False)
+"""
+
+
+class TestDeterminismFlow:
+    def test_interprocedural_wallclock_into_compared_field(self, tmp_path):
+        # time.perf_counter() and the Report(...) construction are two
+        # modules apart -- nothing syntactic connects them.
+        report = lint_flow(tmp_path, {
+            "src/repro/rep.py": _REPORT_MODULE,
+            "src/repro/clock.py": """
+                import time
+
+                def now_s():
+                    return time.perf_counter()
+            """,
+            "src/repro/make.py": """
+                from .clock import now_s
+                from .rep import Report
+
+                def make():
+                    t = now_s()
+                    return Report(queries=t)
+            """,
+        }, rules="REP010")
+        assert rule_ids(report) == ["REP010"]
+        f = report.findings[0]
+        assert "wall-clock time.perf_counter()" in f.message
+        assert "equality-compared field 'queries'" in f.message
+        assert any("now_s" in step for step in f.trace)
+
+    def test_wallclock_into_compare_false_field_is_silent(self, tmp_path):
+        report = lint_flow(tmp_path, {
+            "src/repro/rep.py": _REPORT_MODULE,
+            "src/repro/make.py": """
+                import time
+
+                from .rep import Report
+
+                def make():
+                    return Report(queries=3, wall_s=time.perf_counter())
+            """,
+        }, rules="REP010")
+        assert report.findings == []
+
+    def test_store_into_compare_false_attr_is_silent(self, tmp_path):
+        # report.wall_s = wall must not smear taint over the object.
+        report = lint_flow(tmp_path, {
+            "src/repro/rep.py": _REPORT_MODULE,
+            "src/repro/make.py": """
+                import time
+
+                from .rep import Report
+
+                def wrap(r):
+                    return Report(queries=r)
+
+                def make():
+                    rep = Report(queries=3)
+                    rep.wall_s = time.perf_counter()
+                    return wrap(rep)
+            """,
+        }, rules="REP010")
+        assert report.findings == []
+
+    def test_set_iteration_into_compared_field(self, tmp_path):
+        report = lint_flow(tmp_path, {
+            "src/repro/rep.py": _REPORT_MODULE,
+            "src/repro/make.py": """
+                from .rep import Report
+
+                def make(vertices):
+                    seen = set(vertices)
+                    rows = [v for v in seen]
+                    return Report(queries=rows)
+            """,
+        }, rules="REP010")
+        assert rule_ids(report) == ["REP010"]
+        assert "unordered set iteration" in report.findings[0].message
+
+    def test_sorted_set_iteration_is_silent(self, tmp_path):
+        report = lint_flow(tmp_path, {
+            "src/repro/rep.py": _REPORT_MODULE,
+            "src/repro/make.py": """
+                from .rep import Report
+
+                def make(vertices):
+                    seen = set(vertices)
+                    rows = [v for v in sorted(seen)]
+                    return Report(queries=rows)
+            """,
+        }, rules="REP010")
+        assert report.findings == []
+
+    def test_hash_of_non_int_into_compared_field(self, tmp_path):
+        report = lint_flow(tmp_path, {
+            "src/repro/rep.py": _REPORT_MODULE,
+            "src/repro/make.py": """
+                from .rep import Report
+
+                def make(name):
+                    h = hash(name)
+                    return Report(queries=h)
+            """,
+        }, rules="REP010")
+        assert rule_ids(report) == ["REP010"]
+        assert "PYTHONHASHSEED" in report.findings[0].message
+
+    def test_hash_of_int_literal_is_silent(self, tmp_path):
+        report = lint_flow(tmp_path, {
+            "src/repro/rep.py": _REPORT_MODULE,
+            "src/repro/make.py": """
+                from .rep import Report
+
+                def make():
+                    return Report(queries=hash(42))
+            """,
+        }, rules="REP010")
+        assert report.findings == []
+
+    def test_trajectory_row_sink(self, tmp_path):
+        report = lint_flow(tmp_path, {
+            "src/repro/telemetry/trajectory.py": """
+                def append_entry(path, entry):
+                    return entry
+            """,
+            "src/repro/bench.py": """
+                import time
+
+                from .telemetry.trajectory import append_entry
+
+                def record(path):
+                    row = {"elapsed": time.time()}
+                    return append_entry(path, row)
+            """,
+        }, rules="REP010")
+        assert rule_ids(report) == ["REP010"]
+        assert "trajectory row" in report.findings[0].message
+
+    def test_comparison_outcome_is_sanctioned(self, tmp_path):
+        # Threshold verdicts (wall < budget) are deterministic claims
+        # *about* a measurement, not the measurement itself.
+        report = lint_flow(tmp_path, {
+            "src/repro/rep.py": _REPORT_MODULE,
+            "src/repro/make.py": """
+                import time
+
+                from .rep import Report
+
+                def make(budget):
+                    ok = time.perf_counter() < budget
+                    return Report(queries=ok)
+            """,
+        }, rules="REP010")
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# REP011 — shm escape
+# ---------------------------------------------------------------------------
+
+class TestShmEscape:
+    def test_self_captured_view_escapes_via_send(self, tmp_path):
+        # The capture and the send are different methods: REP008's
+        # name matching has nothing to hook onto ('view' mentions no
+        # packed fragment), only escape analysis connects them.
+        report = lint_flow(tmp_path, {
+            "src/repro/serve/holder.py": """
+                class Holder:
+                    def attach(self, buffer):
+                        self.view = memoryview(buffer)
+
+                    def ship(self, conn):
+                        conn.send(self.view)
+            """,
+        }, rules="REP011")
+        assert rule_ids(report) == ["REP011"]
+        f = report.findings[0]
+        assert "memoryview(...)" in f.message
+        assert ".send(...)" in f.message
+        assert any("captured on self.view" in step for step in f.trace)
+
+    def test_packed_table_through_helper_to_queue(self, tmp_path):
+        report = lint_flow(tmp_path, {
+            "src/repro/shard/tables.py": """
+                class SealedTables:
+                    pass
+            """,
+            "src/repro/shard/work.py": """
+                from .tables import SealedTables
+
+                def build():
+                    return SealedTables()
+
+                def dispatch(queue):
+                    tables = build()
+                    queue.put(tables)
+            """,
+        }, rules="REP011")
+        assert rule_ids(report) == ["REP011"]
+        f = report.findings[0]
+        assert "packed table SealedTables" in f.message
+        assert any("build" in step for step in f.trace)
+
+    def test_process_args_with_shm_buf(self, tmp_path):
+        report = lint_flow(tmp_path, {
+            "src/repro/shard/spawn.py": """
+                import multiprocessing as mp
+
+                def launch(shm):
+                    view = shm.buf
+                    proc = mp.Process(target=print, args=(view,))
+                    return proc
+            """,
+        }, rules="REP011")
+        assert rule_ids(report) == ["REP011"]
+        assert "Process(...)" in report.findings[0].message
+
+    def test_pickled_packed_table_fires(self, tmp_path):
+        report = lint_flow(tmp_path, {
+            "src/repro/serve/dump.py": """
+                import pickle
+
+                class PackedTree:
+                    pass
+
+                def snapshot():
+                    t = PackedTree()
+                    return pickle.dumps(t)
+            """,
+        }, rules="REP011")
+        assert rule_ids(report) == ["REP011"]
+        assert "pickle.dumps" in report.findings[0].message
+
+    def test_copied_bytes_are_silent(self, tmp_path):
+        # .tobytes() / bytes(...) copy the data out of the view; plain
+        # bytes may cross processes freely.
+        report = lint_flow(tmp_path, {
+            "src/repro/serve/copy.py": """
+                def ship(conn, buffer):
+                    view = memoryview(buffer)
+                    conn.send(view.tobytes())
+                    conn.send(bytes(view))
+            """,
+        }, rules="REP011")
+        assert report.findings == []
+
+    def test_manifest_dict_is_silent(self, tmp_path):
+        report = lint_flow(tmp_path, {
+            "src/repro/shard/manifest.py": """
+                import json
+
+                def announce(conn, manifest):
+                    conn.send(json.dumps(manifest))
+            """,
+        }, rules="REP011")
+        assert report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# Runner / report integration
+# ---------------------------------------------------------------------------
+
+class TestFlowRunner:
+    def test_resolve_rules_flow_adds_flow_tier(self):
+        ids = [r.id for r in resolve_rules(None, flow=True)]
+        assert "REP009" in ids and "REP010" in ids and "REP011" in ids
+        assert "REP001" in ids  # syntactic tier still present
+
+    def test_resolve_rules_default_excludes_flow_tier(self):
+        ids = [r.id for r in resolve_rules(None)]
+        assert "REP009" not in ids
+
+    def test_explicit_flow_rule_without_flow_flag(self):
+        assert [r.id for r in resolve_rules("REP011")] == ["REP011"]
+
+    def test_flow_findings_respect_pragmas(self, tmp_path):
+        report = lint_flow(tmp_path, {
+            "src/repro/serve/ok.py": """
+                def ship(conn, buffer):
+                    view = memoryview(buffer)
+                    conn.send(view)  # lint: ignore[REP011] -- test fixture
+            """,
+        }, rules="REP011")
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_trace_survives_finding_roundtrip(self, tmp_path):
+        report = lint_flow(tmp_path, {
+            "src/repro/serve/bad.py": """
+                def ship(conn, buffer):
+                    conn.send(memoryview(buffer))
+            """,
+        }, rules="REP011")
+        from repro.lint import Finding
+
+        f = report.findings[0]
+        assert Finding.from_dict(f.to_dict()) == f
+        rendered = f.render(with_trace=True)
+        assert "taint path:" in rendered
+        assert rendered.splitlines()[1:]  # numbered steps follow
+
+    def test_build_callgraph_over_repo(self):
+        graph = build_callgraph()
+        assert len(graph.project.functions) > 100
+        # A known dispatch family is linked: Rule subclasses.
+        rule = "repro.lint.core.Rule"
+        subs = {c.qualname for c in
+                graph.project.transitive_subclasses(rule)}
+        assert "repro.lint.rules.PragmaHygiene" in subs
+        assert "repro.lint.taint.ShmEscape" in subs
+
+
+class TestRepoSelfCleanUnderFlow:
+    def test_repo_is_flow_clean_with_empty_baseline(self):
+        report = run_lint(baseline=Baseline(), flow=True)
+        assert [f.render(with_trace=True)
+                for f in report.findings if f.severity == "error"] == []
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestFlowCli:
+    def test_flow_strict_exits_nonzero_on_finding(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "src/repro/serve/bad.py": """
+                def ship(conn, buffer):
+                    conn.send(memoryview(buffer))
+            """,
+        })
+        code = main(["lint", str(tmp_path / "src"), "--flow",
+                     "--no-baseline", "--strict"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP011" in out
+
+    def test_trace_flag_prints_taint_path(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "src/repro/serve/bad.py": """
+                def ship(conn, buffer):
+                    conn.send(memoryview(buffer))
+            """,
+        })
+        code = main(["lint", str(tmp_path / "src"), "--flow",
+                     "--no-baseline", "--trace"])
+        out = capsys.readouterr().out
+        assert code == 0  # no --strict: report only
+        assert "taint path:" in out
+        assert "source: memoryview(...) view" in out
+
+    def test_callgraph_json_export(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "src/repro/a.py": """
+                def leaf():
+                    return 1
+
+                def mid():
+                    return leaf()
+            """,
+        })
+        code = main(["lint", str(tmp_path / "src"), "--callgraph", "json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert {"caller": "repro.a.mid", "callee": "repro.a.leaf",
+                "line": 6, "kind": "project"} in doc["edges"]
+
+    def test_callgraph_dot_export(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "src/repro/a.py": """
+                def leaf():
+                    return 1
+
+                def mid():
+                    return leaf()
+            """,
+        })
+        code = main(["lint", str(tmp_path / "src"), "--callgraph", "dot"])
+        assert code == 0
+        assert "digraph callgraph" in capsys.readouterr().out
+
+    def test_repo_flow_strict_cli_is_clean(self):
+        assert main(["lint", "--flow", "--strict", "--quiet"]) == 0
